@@ -1,0 +1,86 @@
+#include "src/arch/bitbrick.h"
+
+#include "src/common/bitutils.h"
+
+namespace bitfusion {
+
+namespace {
+
+/**
+ * Ripple-carry add of two 6-bit vectors using explicit full-adder
+ * logic; models the HA/FA chains in Fig. 5. Result is modulo 2^6,
+ * which is exactly the wrap-around behaviour of the 6-bit product
+ * datapath.
+ */
+std::uint8_t
+addBits6(std::uint8_t a, std::uint8_t b)
+{
+    std::uint8_t sum = 0;
+    std::uint8_t carry = 0;
+    for (unsigned i = 0; i < 6; ++i) {
+        const std::uint8_t ai = (a >> i) & 1;
+        const std::uint8_t bi = (b >> i) & 1;
+        // Full adder: sum bit and carry-out.
+        const std::uint8_t s = ai ^ bi ^ carry;
+        carry = static_cast<std::uint8_t>((ai & bi) | (ai & carry) |
+                                          (bi & carry));
+        sum |= static_cast<std::uint8_t>(s << i);
+    }
+    return sum & 0x3f;
+}
+
+/** Two's complement negation on the 6-bit datapath. */
+std::uint8_t
+negateBits6(std::uint8_t a)
+{
+    return addBits6(static_cast<std::uint8_t>(~a & 0x3f), 1);
+}
+
+} // namespace
+
+int
+BitBrick::decode(std::uint8_t raw, bool is_signed)
+{
+    const std::uint8_t v = raw & 0x3;
+    if (is_signed)
+        return static_cast<int>(signExtend(v, 2));
+    return v;
+}
+
+int
+BitBrick::multiply(std::uint8_t x, std::uint8_t y, bool sx, bool sy)
+{
+    return decode(x, sx) * decode(y, sy);
+}
+
+int
+BitBrick::multiplyGateLevel(std::uint8_t x, std::uint8_t y, bool sx, bool sy)
+{
+    // Sign/zero-extend the 2-bit operands to 3 bits (Fig. 5: x'3b,
+    // y'3b), then extend further to the 6-bit product width so that
+    // partial products can be added modulo 2^6.
+    const std::uint8_t x3 =
+        static_cast<std::uint8_t>((x & 0x3) | (sx && (x & 0x2) ? 0x4 : 0));
+    const std::uint8_t y3 =
+        static_cast<std::uint8_t>((y & 0x3) | (sy && (y & 0x2) ? 0x4 : 0));
+
+    // 6-bit sign extension of the 3-bit multiplicand.
+    std::uint8_t x6 = x3;
+    if (x3 & 0x4)
+        x6 |= 0x38;
+
+    // Shift-and-add over the multiplier bits. The top (weight -4)
+    // bit of the 3-bit signed multiplier contributes a subtraction.
+    std::uint8_t acc = 0;
+    for (unsigned j = 0; j < 3; ++j) {
+        if (!((y3 >> j) & 1))
+            continue;
+        const std::uint8_t pp =
+            static_cast<std::uint8_t>((x6 << j) & 0x3f);
+        acc = addBits6(acc, j == 2 ? negateBits6(pp) : pp);
+    }
+
+    return static_cast<int>(signExtend(acc, 6));
+}
+
+} // namespace bitfusion

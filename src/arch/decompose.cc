@@ -1,0 +1,82 @@
+#include "src/arch/decompose.h"
+
+#include "src/common/bitutils.h"
+#include "src/common/logging.h"
+
+namespace bitfusion {
+
+namespace {
+
+/**
+ * Split a value into 2-bit digits (little-endian). Digit count is
+ * bitBrickLanes(bits); for 1-bit operands the single digit is just
+ * the bit itself.
+ */
+std::vector<std::uint8_t>
+toDigits(std::int64_t v, unsigned bits)
+{
+    const unsigned lanes = bitBrickLanes(bits);
+    const std::uint64_t raw =
+        static_cast<std::uint64_t>(v) & lowMask(bits);
+    std::vector<std::uint8_t> digits(lanes);
+    for (unsigned i = 0; i < lanes; ++i)
+        digits[i] = static_cast<std::uint8_t>((raw >> (2 * i)) & 0x3);
+    return digits;
+}
+
+} // namespace
+
+bool
+representable(std::int64_t v, unsigned bits, bool is_signed)
+{
+    if (is_signed)
+        return v >= signedMin(bits) && v <= signedMax(bits);
+    return v >= 0 && v <= unsignedMax(bits);
+}
+
+std::vector<BitBrickOp>
+decomposeMultiply(std::int64_t a, std::int64_t w, const FusionConfig &cfg)
+{
+    cfg.validate();
+    BF_ASSERT(representable(a, cfg.aBits, cfg.aSigned),
+              "activation ", a, " not representable in ", cfg.aBits,
+              cfg.aSigned ? "b signed" : "b unsigned");
+    BF_ASSERT(representable(w, cfg.wBits, cfg.wSigned),
+              "weight ", w, " not representable in ", cfg.wBits,
+              cfg.wSigned ? "b signed" : "b unsigned");
+
+    const auto a_digits = toDigits(a, cfg.aBits);
+    const auto w_digits = toDigits(w, cfg.wBits);
+
+    // A 1-bit operand occupies a full 2-bit lane with a zero top bit,
+    // so its single digit is never sign-bearing. For wider operands
+    // only the top digit carries the sign.
+    const bool a_top_signed = cfg.aSigned && cfg.aBits >= 2;
+    const bool w_top_signed = cfg.wSigned && cfg.wBits >= 2;
+
+    std::vector<BitBrickOp> ops;
+    ops.reserve(a_digits.size() * w_digits.size());
+    for (unsigned i = 0; i < a_digits.size(); ++i) {
+        for (unsigned j = 0; j < w_digits.size(); ++j) {
+            BitBrickOp op;
+            op.x = a_digits[i];
+            op.y = w_digits[j];
+            op.sx = a_top_signed && (i + 1 == a_digits.size());
+            op.sy = w_top_signed && (j + 1 == w_digits.size());
+            op.shift = 2 * (i + j);
+            ops.push_back(op);
+        }
+    }
+    return ops;
+}
+
+std::int64_t
+evaluateDecomposition(const std::vector<BitBrickOp> &ops)
+{
+    std::int64_t sum = 0;
+    for (const auto &op : ops)
+        sum += BitBrick::evaluate(op);
+    return sum;
+}
+
+} // namespace bitfusion

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Fusion configuration: the per-layer operand bitwidth/sign setting
+ * that determines how BitBricks compose into Fused-PEs.
+ */
+
+#ifndef BITFUSION_ARCH_FUSION_CONFIG_H
+#define BITFUSION_ARCH_FUSION_CONFIG_H
+
+#include <string>
+
+namespace bitfusion {
+
+/**
+ * Operand bitwidths and signedness for one instruction block / layer.
+ *
+ * Bit Fusion supports operand bitwidths of 1 (binary), 2 (ternary),
+ * 4, 8, and 16 bits. 1- and 2-bit operands each occupy one BitBrick
+ * lane; wider operands occupy bits/2 lanes. Up to 8-bit operands are
+ * handled purely spatially inside a Fusion Unit; 16-bit operands add
+ * temporal passes (paper §III-C "spatio-temporal fusion").
+ */
+struct FusionConfig
+{
+    /** Activation (input) bitwidth: 1, 2, 4, 8, or 16. */
+    unsigned aBits = 8;
+    /** Weight bitwidth: 1, 2, 4, 8, or 16. */
+    unsigned wBits = 8;
+    /** Whether activations are signed. */
+    bool aSigned = false;
+    /** Whether weights are signed. */
+    bool wSigned = true;
+
+    /** Validate the configuration; fatal() on unsupported widths. */
+    void validate() const;
+
+    /** BitBrick lanes occupied by the activation operand (spatial). */
+    unsigned aLanes() const;
+    /** BitBrick lanes occupied by the weight operand (spatial). */
+    unsigned wLanes() const;
+
+    /**
+     * BitBricks consumed by one product in the spatial dimension.
+     * 16-bit operands are decomposed spatially only down to 8 bits;
+     * the rest is temporal.
+     */
+    unsigned bricksPerProduct() const;
+
+    /**
+     * Temporal passes needed per product: 1 for operands up to 8
+     * bits, 2 when one operand is 16-bit, 4 when both are.
+     */
+    unsigned temporalPasses() const;
+
+    /**
+     * Fused-PEs offered by a Fusion Unit of @p bricks BitBricks
+     * (16 by default). This is the parallelism multiplier relative
+     * to the 8x8-bit configuration.
+     */
+    unsigned fusedPEs(unsigned bricks = 16) const;
+
+    /** Short form like "4b/2b" (activations/weights). */
+    std::string toString() const;
+
+    bool
+    operator==(const FusionConfig &o) const
+    {
+        return aBits == o.aBits && wBits == o.wBits &&
+               aSigned == o.aSigned && wSigned == o.wSigned;
+    }
+};
+
+} // namespace bitfusion
+
+#endif // BITFUSION_ARCH_FUSION_CONFIG_H

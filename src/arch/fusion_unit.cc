@@ -1,0 +1,76 @@
+#include "src/arch/fusion_unit.h"
+
+#include "src/arch/decompose.h"
+#include "src/common/logging.h"
+
+namespace bitfusion {
+
+FusionUnit::FusionUnit(unsigned bricks)
+    : brickCount(bricks), tree(bricks)
+{
+    BF_ASSERT(bricks == 16 || bricks == 4 || bricks == 64,
+              "fusion units are built from 4, 16, or 64 BitBricks");
+}
+
+void
+FusionUnit::configure(const FusionConfig &new_cfg)
+{
+    new_cfg.validate();
+    BF_ASSERT(new_cfg.bricksPerProduct() <= brickCount,
+              "configuration ", new_cfg.toString(),
+              " needs more BitBricks than this unit has");
+    cfg = new_cfg;
+}
+
+std::int64_t
+FusionUnit::multiplyAccumulate(
+    const std::vector<std::pair<std::int64_t, std::int64_t>> &pairs,
+    std::int64_t carry_in)
+{
+    BF_ASSERT(pairs.size() <= fusedPEs(),
+              "issued ", pairs.size(), " pairs to ", fusedPEs(),
+              " Fused-PEs");
+
+    // Gather the decomposed operations of every Fused-PE. With the
+    // hybrid spatio-temporal scheme each temporal pass fills the
+    // spatial tree once; temporalPasses() passes complete the full
+    // product set.
+    std::vector<BitBrickOp> all_ops;
+    for (const auto &[a, w] : pairs) {
+        const auto ops = decomposeMultiply(a, w, cfg);
+        all_ops.insert(all_ops.end(), ops.begin(), ops.end());
+    }
+
+    const unsigned passes = cfg.temporalPasses();
+    BF_ASSERT(all_ops.size() <= static_cast<std::size_t>(brickCount) *
+                  passes,
+              "decomposition exceeds spatio-temporal capacity");
+
+    // Feed the spatial tree one pass worth of operations at a time;
+    // the per-pass results accumulate in the unit's output register.
+    std::int64_t sum = 0;
+    std::size_t issued = 0;
+    unsigned used_passes = 0;
+    while (issued < all_ops.size()) {
+        const std::size_t n =
+            std::min<std::size_t>(brickCount, all_ops.size() - issued);
+        std::vector<BitBrickOp> pass(all_ops.begin() + issued,
+                                     all_ops.begin() + issued + n);
+        sum += tree.combine(pass);
+        issued += n;
+        ++used_passes;
+    }
+    // An idle unit (no pairs) still occupies the cycle.
+    used_passes = std::max(used_passes, 1u);
+    BF_ASSERT(used_passes <= passes,
+              "used ", used_passes, " passes, configuration allows ",
+              passes);
+
+    _stats.cycles += passes;
+    _stats.bitBrickOps += all_ops.size();
+    _stats.products += pairs.size();
+
+    return carry_in + sum;
+}
+
+} // namespace bitfusion

@@ -1,0 +1,78 @@
+#include "src/arch/hw_model.h"
+
+#include <cmath>
+
+#include "src/common/bitutils.h"
+#include "src/common/logging.h"
+
+namespace bitfusion {
+
+UnitCost
+HwModel::fusionUnit45()
+{
+    // Paper Fig. 10, "Fusion Unit" row (45 nm commercial library).
+    return UnitCost{369.0, 934.0, 91.0, 46.0, 424.0, 69.0};
+}
+
+UnitCost
+HwModel::temporalDesign45()
+{
+    // Paper Fig. 10, "Temporal" row.
+    return UnitCost{463.0, 2989.0, 1454.0, 60.0, 550.0, 1103.0};
+}
+
+unsigned
+HwModel::fusionUnitsForBudget(double budget_mm2)
+{
+    BF_ASSERT(budget_mm2 > 0.0);
+    const double unit_um2 = fusionUnit45().totalAreaUm2() *
+                            systolicOverhead;
+    const double budget_um2 = budget_mm2 * 1e6;
+    const auto units = static_cast<unsigned>(budget_um2 / unit_um2);
+    // Round down to a power of two so the array keeps power-of-two
+    // rows/columns (the paper's configurations are 512 and 4096).
+    unsigned pow2 = 1;
+    while (pow2 * 2 <= units)
+        pow2 *= 2;
+    return pow2;
+}
+
+double
+HwModel::energyScale(TechNode node)
+{
+    switch (node) {
+      case TechNode::Nm45:
+        return 1.0;
+      case TechNode::Nm16:
+        // E ~ C * V^2: 0.42 capacitance x 0.86^2 voltage (paper §V-A).
+        return 0.42 * 0.86 * 0.86;
+    }
+    BF_PANIC("unknown tech node");
+}
+
+double
+HwModel::areaScale(TechNode node)
+{
+    switch (node) {
+      case TechNode::Nm45:
+        return 1.0;
+      case TechNode::Nm16:
+        return (16.0 / 45.0) * (16.0 / 45.0);
+    }
+    BF_PANIC("unknown tech node");
+}
+
+double
+HwModel::macEnergyPj(unsigned a_bits, unsigned w_bits, TechNode node)
+{
+    const double bricks = static_cast<double>(bitBrickLanes(a_bits)) *
+                          static_cast<double>(bitBrickLanes(w_bits));
+    // One tree pass (16 BitBrick slots) is shared by all Fused-PEs
+    // active in that cycle, so each MAC pays for the fraction of the
+    // tree its bricks occupy; 16-bit MACs span multiple passes.
+    const double e45 = bricks * (bitBrickOpEnergyPj +
+                                 fusionTreePassEnergyPj / 16.0);
+    return e45 * energyScale(node);
+}
+
+} // namespace bitfusion

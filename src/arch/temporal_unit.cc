@@ -1,0 +1,31 @@
+#include "src/arch/temporal_unit.h"
+
+#include "src/arch/decompose.h"
+#include "src/common/bitutils.h"
+
+namespace bitfusion {
+
+void
+TemporalUnit::step(const BitBrickOp &op)
+{
+    accumulator += BitBrick::evaluate(op);
+    ++totalCycles;
+}
+
+unsigned
+TemporalUnit::multiplyAccumulate(std::int64_t a, std::int64_t w,
+                                 const FusionConfig &cfg)
+{
+    const auto ops = decomposeMultiply(a, w, cfg);
+    for (const auto &op : ops)
+        step(op);
+    return static_cast<unsigned>(ops.size());
+}
+
+unsigned
+TemporalUnit::cyclesPerProduct(const FusionConfig &cfg)
+{
+    return bitBrickLanes(cfg.aBits) * bitBrickLanes(cfg.wBits);
+}
+
+} // namespace bitfusion

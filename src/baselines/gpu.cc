@@ -1,0 +1,101 @@
+#include "src/baselines/gpu.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/logging.h"
+
+namespace bitfusion {
+
+GpuSpec
+GpuSpec::tegraX2Fp32()
+{
+    // 256 CUDA cores x 875 MHz (Table III) x 1 MAC/core/cycle.
+    return GpuSpec{"tegra-x2-fp32", 256.0 * 875e6, 58e9, 4.0,
+                   8192.0, 20e-6, 0.75};
+}
+
+GpuSpec
+GpuSpec::titanXpFp32()
+{
+    // 3584 CUDA cores x 1531 MHz.
+    return GpuSpec{"titan-xp-fp32", 3584.0 * 1531e6, 547e9, 4.0,
+                   131072.0, 8e-6, 0.75};
+}
+
+GpuSpec
+GpuSpec::titanXpInt8()
+{
+    // dp4a: 4x the FP32 math rate; INT8 kernels are somewhat less
+    // efficient (quantize/dequantize epilogues).
+    GpuSpec s = titanXpFp32();
+    s.name = "titan-xp-int8";
+    s.peakMacsPerSec *= 4.0;
+    s.bytesPerElem = 1.0;
+    // TensorRT INT8 kernels reach a smaller fraction of the dp4a
+    // peak (quantize/dequantize epilogues, alignment); calibrated so
+    // INT8 lands ~1.6x over FP32 end to end, as the paper measures.
+    s.efficiency = 0.30;
+    return s;
+}
+
+GpuModel::GpuModel(GpuSpec spec, unsigned batch)
+    : _spec(std::move(spec)), batch(batch)
+{
+    BF_ASSERT(batch > 0);
+}
+
+RunStats
+GpuModel::run(const Network &net) const
+{
+    RunStats rs;
+    rs.platform = _spec.name;
+    rs.network = net.name();
+    rs.batch = batch;
+    rs.freqMHz = 1000.0; // report cycles as microseconds
+
+    double total_sec = 0.0;
+    for (const auto &layer : net.layers()) {
+        if (!layer.usesMacArray())
+            continue;
+
+        const auto gemm = layer.gemmShape();
+        const double macs =
+            static_cast<double>(layer.macsPerSample()) * batch;
+
+        // Occupancy: one thread per output element is the natural
+        // GEMM parallelization.
+        const double n_total =
+            static_cast<double>(layer.kind == LayerKind::Conv ? gemm.n
+                                                              : 1) *
+            batch;
+        const double threads = static_cast<double>(gemm.m) * n_total;
+        const double occupancy =
+            std::min(1.0, threads / _spec.occupancyKnee);
+
+        const double compute_sec =
+            macs / (_spec.peakMacsPerSec * _spec.efficiency * occupancy);
+        const double bytes =
+            (static_cast<double>(layer.weightCount()) +
+             static_cast<double>(layer.inputCount()) * batch +
+             static_cast<double>(layer.outputCount()) * batch) *
+            _spec.bytesPerElem;
+        const double mem_sec = bytes / _spec.memBytesPerSec;
+        const double layer_sec =
+            std::max(compute_sec, mem_sec) + _spec.launchOverheadSec;
+
+        LayerStats st;
+        st.name = layer.name;
+        st.config = _spec.name;
+        st.macs = static_cast<std::uint64_t>(macs);
+        st.cycles = static_cast<std::uint64_t>(layer_sec * 1e9);
+        st.utilization = occupancy;
+        total_sec += layer_sec;
+        rs.layers.push_back(std::move(st));
+    }
+    rs.totalCycles = static_cast<std::uint64_t>(total_sec * rs.freqMHz *
+                                                1e6);
+    return rs;
+}
+
+} // namespace bitfusion

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * GPU baseline models for the Fig. 17 comparison: Tegra X2 (FP32)
+ * and Titan Xp (FP32 and INT8), per the Table III parameters.
+ *
+ * The paper measures TensorRT on physical boards; we substitute a
+ * roofline model per layer -- time is the max of the compute roof
+ * (peak ops scaled by an occupancy-style utilization) and the memory
+ * roof (bytes over bandwidth) plus a fixed kernel-launch overhead.
+ * The roofline reproduces exactly the effects Fig. 17 turns on:
+ * small recurrent models underutilize the big GPU, INT8 packs 4x
+ * the math but only helps compute-bound layers.
+ */
+
+#ifndef BITFUSION_BASELINES_GPU_H
+#define BITFUSION_BASELINES_GPU_H
+
+#include <string>
+
+#include "src/core/stats.h"
+#include "src/dnn/network.h"
+
+namespace bitfusion {
+
+/** One GPU platform (Table III). */
+struct GpuSpec
+{
+    std::string name;
+    /** Peak multiply-add throughput, MACs per second. */
+    double peakMacsPerSec;
+    /** Off-chip bandwidth, bytes per second. */
+    double memBytesPerSec;
+    /** Bytes per operand element (4 = FP32, 1 = INT8). */
+    double bytesPerElem;
+    /** Threads needed to reach peak (occupancy knee). */
+    double occupancyKnee;
+    /** Per-layer kernel launch overhead, seconds. */
+    double launchOverheadSec;
+    /** Throughput derating for non-ideal kernels. */
+    double efficiency;
+
+    /** Tegra X2, FP32 (256 cores @ 875 MHz nominal, ~58 GB/s). */
+    static GpuSpec tegraX2Fp32();
+    /** Titan Xp, FP32 (3584 cores @ 1531 MHz, 547 GB/s). */
+    static GpuSpec titanXpFp32();
+    /** Titan Xp, INT8 dp4a (4x FP32 math rate). */
+    static GpuSpec titanXpInt8();
+};
+
+/** Roofline executor for a GPU spec. */
+class GpuModel
+{
+  public:
+    explicit GpuModel(GpuSpec spec, unsigned batch = 16);
+
+    /** Run a network for one batch; returns time-only stats. */
+    RunStats run(const Network &net) const;
+
+    const GpuSpec &spec() const { return _spec; }
+
+  private:
+    GpuSpec _spec;
+    unsigned batch;
+};
+
+} // namespace bitfusion
+
+#endif // BITFUSION_BASELINES_GPU_H

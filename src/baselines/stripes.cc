@@ -1,0 +1,108 @@
+#include "src/baselines/stripes.h"
+
+#include <algorithm>
+
+#include "src/common/bitutils.h"
+#include "src/common/logging.h"
+#include "src/compiler/tiling.h"
+#include "src/energy/energy_model.h"
+
+namespace bitfusion {
+
+StripesModel::StripesModel(const StripesConfig &cfg) : cfg(cfg)
+{
+}
+
+double
+StripesModel::peakMacsPerCycle(unsigned w_bits) const
+{
+    BF_ASSERT(w_bits >= 1 && w_bits <= 16);
+    return static_cast<double>(cfg.sips) / w_bits;
+}
+
+LayerStats
+StripesModel::runLayer(const Layer &layer, unsigned out_bits) const
+{
+    const unsigned w_bits = std::max(1u, layer.bits.wBits);
+    LayerStats st;
+    st.name = layer.name;
+    st.config = "16b/" + std::to_string(w_bits) + "b";
+
+    const std::uint64_t batch = cfg.batch;
+    st.macs = layer.macsPerSample() * batch;
+
+    const auto gemm = layer.gemmShape();
+    const std::uint64_t n_total =
+        (layer.kind == LayerKind::Conv ? gemm.n : 1) * batch;
+    // Tiles split the batch; each tile computes its share.
+    const std::uint64_t n_tile =
+        (layer.kind == LayerKind::Conv ? gemm.n : 1) *
+        divCeil(batch, cfg.tiles);
+    const std::uint64_t m_passes = divCeil(gemm.m, cfg.mParallel());
+    const std::uint64_t k_passes = divCeil(gemm.k, cfg.kParallel());
+    const std::uint64_t n_passes = divCeil(n_tile, cfg.nParallel());
+    // Each (m, k, n) group needs w_bits serial cycles.
+    st.computeCycles = m_passes * k_passes * n_passes * w_bits;
+    const double ideal = static_cast<double>(st.macs) /
+                         (peakMacsPerCycle(w_bits) * cfg.tiles);
+    st.utilization = ideal / static_cast<double>(st.computeCycles);
+
+    // Traffic: weights at w_bits, activations at the fixed 16 bits,
+    // with the same tiling/ordering reuse logic as Bit Fusion.
+    const std::uint64_t w_bits_total = layer.weightCount() * w_bits;
+    const std::uint64_t i_bits =
+        layer.inputCount() * cfg.actBits * batch;
+    const std::uint64_t o_bits =
+        layer.outputCount() * out_bits * batch;
+    AcceleratorConfig tile_cfg;
+    tile_cfg.rows = cfg.kParallel();
+    tile_cfg.cols = cfg.mParallel();
+    tile_cfg.wbufBits = cfg.sramBits / 2;
+    tile_cfg.ibufBits = cfg.sramBits / 4;
+    tile_cfg.obufBits = cfg.sramBits / 4;
+    tile_cfg.batch = cfg.batch;
+    const Tiler tiler(tile_cfg);
+    // Stripes activations are 16-bit; weights serialize at w_bits.
+    FusionConfig op{16, 16, true, true};
+    const Tiling tile =
+        tiler.chooseTiles(gemm.m, gemm.k, n_total, op, out_bits);
+    const LoopOrder order = tiler.chooseOrder(
+        tile, gemm.m, gemm.k, n_total, w_bits_total, i_bits, o_bits);
+    st.dramLoadBits = Tiler::trafficBits(order, tile, gemm.m, gemm.k,
+                                         n_total, w_bits_total, i_bits,
+                                         0);
+    st.dramStoreBits = o_bits;
+    st.memCycles =
+        divCeil(st.dramLoadBits + st.dramStoreBits, cfg.bwBitsPerCycle);
+
+    // On-chip traffic: serial weight bits re-read per streamed
+    // position; 16-bit activations re-read per output pass.
+    st.sramBits = st.macs * w_bits + st.macs * cfg.actBits /
+                                         cfg.kParallel() +
+                  2 * gemm.m * n_total * 32;
+
+    st.cycles = std::max(st.computeCycles, st.memCycles);
+    EnergyModel::applyStripes(st, w_bits, cfg.sramBits);
+    return st;
+}
+
+RunStats
+StripesModel::run(const Network &net) const
+{
+    RunStats rs;
+    rs.platform = "stripes-45nm";
+    rs.network = net.name();
+    rs.batch = cfg.batch;
+    rs.freqMHz = cfg.freqMHz;
+
+    for (const auto &layer : net.layers()) {
+        if (!layer.usesMacArray())
+            continue;
+        LayerStats st = runLayer(layer, cfg.actBits);
+        rs.totalCycles += st.cycles;
+        rs.layers.push_back(std::move(st));
+    }
+    return rs;
+}
+
+} // namespace bitfusion

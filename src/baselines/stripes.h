@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Stripes baseline model (paper comparison point [2]).
+ *
+ * Stripes executes DNNs with bit-serial arithmetic on the weight
+ * side: activations are 16-bit parallel, weights stream one bit per
+ * cycle through Serial Inner-Product units (SIPs), so runtime scales
+ * with the weight bitwidth while input bitwidth gives no benefit.
+ * Following §V-A, the comparison is tile-for-tile: one Stripes tile
+ * (4096 SIPs) occupies the same 1.1 mm^2 the 512-Fusion-Unit array
+ * does, with the same on-chip memory and off-chip bandwidth.
+ */
+
+#ifndef BITFUSION_BASELINES_STRIPES_H
+#define BITFUSION_BASELINES_STRIPES_H
+
+#include "src/core/stats.h"
+#include "src/dnn/network.h"
+
+namespace bitfusion {
+
+/** Configuration of the Stripes tile model. */
+struct StripesConfig
+{
+    /** SIPs per tile (Table III). */
+    unsigned sips = 4096;
+    /** Parallel 1-bit weight lanes per inner product. */
+    unsigned lanesPerSip = 16;
+    /** Parallel output windows per tile (Stripes processes 16
+     *  filters x 16 windows x 16 reduction lanes per cycle). */
+    unsigned windows = 16;
+    /** Fixed activation bitwidth. */
+    unsigned actBits = 16;
+    /** Stripes frequency (Table III). */
+    double freqMHz = 980.0;
+    /** Data-parallel tiles sharing the DRAM interface. */
+    unsigned tiles = 16;
+    /** On-chip storage per tile, matched to the Bit Fusion array. */
+    std::uint64_t sramBits = 112ULL * 1024 * 8;
+    std::uint64_t bwBitsPerCycle = 256;
+    unsigned batch = 16;
+
+    /** Output (filter) parallelism of the tile. */
+    unsigned mParallel() const { return sips / lanesPerSip / windows; }
+    /** Reduction parallelism of the tile. */
+    unsigned kParallel() const { return lanesPerSip; }
+    /** Streaming (window) parallelism of the tile. */
+    unsigned nParallel() const { return windows; }
+};
+
+/** Analytical bit-serial tile simulator. */
+class StripesModel
+{
+  public:
+    explicit StripesModel(const StripesConfig &cfg = StripesConfig{});
+
+    /**
+     * Run a quantized network for one batch. Weight bitwidths come
+     * from the per-layer fusion configs; activations execute at the
+     * fixed 16-bit width regardless of the model's activation
+     * quantization (the defining Stripes limitation).
+     */
+    RunStats run(const Network &net) const;
+
+    /** Peak MACs/cycle at a weight bitwidth (exposed for tests). */
+    double peakMacsPerCycle(unsigned w_bits) const;
+
+    const StripesConfig &config() const { return cfg; }
+
+  private:
+    LayerStats runLayer(const Layer &layer, unsigned out_bits) const;
+
+    StripesConfig cfg;
+};
+
+} // namespace bitfusion
+
+#endif // BITFUSION_BASELINES_STRIPES_H

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Small bit-manipulation helpers used throughout the library.
+ */
+
+#ifndef BITFUSION_COMMON_BITUTILS_H
+#define BITFUSION_COMMON_BITUTILS_H
+
+#include <cstdint>
+
+#include "src/common/logging.h"
+
+namespace bitfusion {
+
+/** Integer ceiling division. */
+constexpr std::uint64_t
+divCeil(std::uint64_t num, std::uint64_t den)
+{
+    return (num + den - 1) / den;
+}
+
+/** A mask with the low @p bits bits set. @p bits must be <= 64. */
+constexpr std::uint64_t
+lowMask(unsigned bits)
+{
+    return bits >= 64 ? ~0ULL : ((1ULL << bits) - 1);
+}
+
+/**
+ * Sign-extend the low @p bits bits of @p value to a full 64-bit signed
+ * integer.
+ */
+constexpr std::int64_t
+signExtend(std::uint64_t value, unsigned bits)
+{
+    const std::uint64_t m = 1ULL << (bits - 1);
+    const std::uint64_t v = value & lowMask(bits);
+    return static_cast<std::int64_t>((v ^ m) - m);
+}
+
+/** True iff @p v is a power of two (and nonzero). */
+constexpr bool
+isPowerOfTwo(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** log2 of a power-of-two value. */
+constexpr unsigned
+log2Exact(std::uint64_t v)
+{
+    unsigned n = 0;
+    while (v > 1) {
+        v >>= 1;
+        ++n;
+    }
+    return n;
+}
+
+/**
+ * Number of BitBrick lanes (2-bit digits) an operand of @p bits bits
+ * occupies. Binary (1-bit) and ternary (2-bit) operands both occupy a
+ * single 2-bit lane.
+ */
+constexpr unsigned
+bitBrickLanes(unsigned bits)
+{
+    return bits <= 2 ? 1 : (bits + 1) / 2;
+}
+
+/** Smallest signed value representable in @p bits bits. */
+constexpr std::int64_t
+signedMin(unsigned bits)
+{
+    return -(std::int64_t{1} << (bits - 1));
+}
+
+/** Largest signed value representable in @p bits bits. */
+constexpr std::int64_t
+signedMax(unsigned bits)
+{
+    return (std::int64_t{1} << (bits - 1)) - 1;
+}
+
+/** Largest unsigned value representable in @p bits bits. */
+constexpr std::int64_t
+unsignedMax(unsigned bits)
+{
+    return static_cast<std::int64_t>(lowMask(bits));
+}
+
+/** Clamp @p v into the representable range of @p bits signed bits. */
+constexpr std::int64_t
+clampSigned(std::int64_t v, unsigned bits)
+{
+    const std::int64_t lo = signedMin(bits);
+    const std::int64_t hi = signedMax(bits);
+    return v < lo ? lo : (v > hi ? hi : v);
+}
+
+/** Clamp @p v into the representable range of @p bits unsigned bits. */
+constexpr std::int64_t
+clampUnsigned(std::int64_t v, unsigned bits)
+{
+    const std::int64_t hi = unsignedMax(bits);
+    return v < 0 ? 0 : (v > hi ? hi : v);
+}
+
+} // namespace bitfusion
+
+#endif // BITFUSION_COMMON_BITUTILS_H

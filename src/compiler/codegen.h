@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Fusion-ISA code generation.
+ *
+ * Emits one instruction block per layer (or fused layer group),
+ * realizing the paper's block structure: setup / loop nest /
+ * gen-addr address expressions / ld-st-rd-wr / compute / block-end,
+ * with the tiling and loop-ordering optimizations of §IV-B applied.
+ */
+
+#ifndef BITFUSION_COMPILER_CODEGEN_H
+#define BITFUSION_COMPILER_CODEGEN_H
+
+#include <cstdint>
+
+#include "src/compiler/schedule.h"
+#include "src/compiler/tiling.h"
+#include "src/dnn/network.h"
+#include "src/sim/config.h"
+
+namespace bitfusion {
+
+/** Memory bases an emitted block binds to. */
+struct BlockBases
+{
+    std::uint64_t input = 0;
+    std::uint64_t output = 0;
+    std::uint64_t weights = 0;
+};
+
+/** Fused-activation parameters applied on the OBUF drain path. */
+struct ActFusion
+{
+    bool enabled = false;
+    /** Right shift applied during requantization. */
+    unsigned shift = 0;
+    /** Output bitwidth after requantization (0 = no clamp). */
+    unsigned outBits = 0;
+};
+
+/** The Bit Fusion compiler. */
+class Compiler
+{
+  public:
+    explicit Compiler(const AcceleratorConfig &cfg);
+
+    /**
+     * Compile a network: apply layer fusion, choose tiles and loop
+     * orders, and emit one block per schedule. Memory bases are
+     * assigned from a virtual bump allocator.
+     */
+    CompiledNetwork compile(const Network &net) const;
+
+    // Block emitters (public so tests can wire blocks to a real
+    // MemoryModel).
+
+    /**
+     * Convolution block. The input is expected stored padded:
+     * (inC, inH + 2 pad, inW + 2 pad) row-major.
+     * @p out_tile output channels kept per tile; must divide
+     * outC/groups (the emitter shrinks it to the nearest divisor).
+     */
+    InstructionBlock emitConv(const Layer &layer, const BlockBases &bases,
+                              std::uint64_t out_tile,
+                              const ActFusion &act = {}) const;
+
+    /**
+     * Fully-connected block (Fig. 12(b) shape: tiled, output
+     * stationary). @p out_tile / @p in_tile shrink to divisors of
+     * outC / inC.
+     */
+    InstructionBlock emitFc(const Layer &layer, const BlockBases &bases,
+                            std::uint64_t out_tile, std::uint64_t in_tile,
+                            const ActFusion &act = {}) const;
+
+    /** Max-pooling block (pooling unit). */
+    InstructionBlock emitPool(const Layer &layer,
+                              const BlockBases &bases) const;
+
+    /** Activation block (activation unit): relu + requantize. */
+    InstructionBlock emitActivation(const Layer &layer,
+                                    const BlockBases &bases,
+                                    unsigned shift,
+                                    unsigned out_bits) const;
+
+    const AcceleratorConfig &config() const { return cfg; }
+
+  private:
+    /** Largest divisor of @p value that is <= cap. */
+    static std::uint64_t largestDivisor(std::uint64_t value,
+                                        std::uint64_t cap);
+
+    AcceleratorConfig cfg;
+    Tiler tiler;
+};
+
+} // namespace bitfusion
+
+#endif // BITFUSION_COMPILER_CODEGEN_H

@@ -1,0 +1,57 @@
+#include "src/compiler/mixed_precision.h"
+
+#include <cmath>
+
+#include "src/common/logging.h"
+
+namespace bitfusion {
+
+std::vector<Layer>
+splitByOutputChannels(const Layer &layer,
+                      const std::vector<PrecisionPart> &parts)
+{
+    if (parts.empty())
+        BF_FATAL("splitByOutputChannels: no parts given");
+    if (layer.kind != LayerKind::Conv &&
+        layer.kind != LayerKind::FullyConnected)
+        BF_FATAL("splitByOutputChannels supports conv/fc layers only");
+    if (layer.groups != 1)
+        BF_FATAL("splitByOutputChannels does not support grouped conv");
+
+    double total = 0.0;
+    for (const auto &p : parts) {
+        if (p.fraction <= 0.0)
+            BF_FATAL("precision part with non-positive fraction");
+        total += p.fraction;
+    }
+    if (total > 1.0 + 1e-9)
+        BF_FATAL("precision fractions exceed 1.0");
+
+    std::vector<Layer> out;
+    unsigned assigned = 0;
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+        unsigned oc;
+        if (i + 1 == parts.size()) {
+            oc = layer.outC - assigned;
+        } else {
+            oc = static_cast<unsigned>(
+                std::lround(parts[i].fraction * layer.outC));
+            oc = std::min(oc, layer.outC - assigned -
+                                  static_cast<unsigned>(parts.size() -
+                                                        1 - i));
+            oc = std::max(oc, 1u);
+        }
+        BF_ASSERT(assigned + oc <= layer.outC,
+                  "channel split overflows the layer");
+        Layer sub = layer;
+        sub.name = layer.name + "." + std::to_string(i);
+        sub.outC = oc;
+        sub.bits = parts[i].bits;
+        out.push_back(std::move(sub));
+        assigned += oc;
+    }
+    BF_ASSERT(assigned == layer.outC, "channel split left a remainder");
+    return out;
+}
+
+} // namespace bitfusion

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Within-layer bitwidth variation (paper §IV-A).
+ *
+ * The Fusion-ISA fixes one fusion configuration per instruction
+ * block, but the paper notes the microarchitecture "can readily
+ * support [within-layer variation] by using multiple instruction
+ * blocks for an individual layer". This pass realizes that: a
+ * conv/FC layer whose output channels tolerate different precisions
+ * is split into channel-sliced sub-layers, each compiled to its own
+ * block with its own setup configuration.
+ */
+
+#ifndef BITFUSION_COMPILER_MIXED_PRECISION_H
+#define BITFUSION_COMPILER_MIXED_PRECISION_H
+
+#include <utility>
+#include <vector>
+
+#include "src/dnn/layer.h"
+
+namespace bitfusion {
+
+/** One precision region: a fraction of output channels + config. */
+struct PrecisionPart
+{
+    /** Fraction of the layer's output channels (sums to ~1). */
+    double fraction;
+    /** Fusion configuration for this slice. */
+    FusionConfig bits;
+};
+
+/**
+ * Split @p layer (conv or fully-connected, ungrouped) by output
+ * channels into one sub-layer per part. Channel counts are rounded
+ * with the remainder folded into the last part; every sub-layer
+ * keeps the full input, so the MAC total is conserved exactly.
+ * Fatal on empty parts, non-positive fractions, or unsupported
+ * layer kinds.
+ */
+std::vector<Layer>
+splitByOutputChannels(const Layer &layer,
+                      const std::vector<PrecisionPart> &parts);
+
+} // namespace bitfusion
+
+#endif // BITFUSION_COMPILER_MIXED_PRECISION_H

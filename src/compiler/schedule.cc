@@ -1,0 +1,14 @@
+#include "src/compiler/schedule.h"
+
+namespace bitfusion {
+
+std::uint64_t
+CompiledNetwork::totalMacs() const
+{
+    std::uint64_t total = 0;
+    for (const auto &s : schedules)
+        total += s.layer.macsPerSample();
+    return total * batch;
+}
+
+} // namespace bitfusion

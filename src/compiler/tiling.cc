@@ -1,0 +1,110 @@
+#include "src/compiler/tiling.h"
+
+#include <algorithm>
+
+#include "src/common/bitutils.h"
+#include "src/common/logging.h"
+
+namespace bitfusion {
+
+Tiling
+Tiler::chooseTiles(std::uint64_t m, std::uint64_t k, std::uint64_t n_total,
+                   const FusionConfig &bits, unsigned out_bits) const
+{
+    cfg.validate();
+    (void)out_bits;
+    // Half of each scratchpad is usable by a tile; the other half is
+    // the double-buffer shadow that hides DRAM latency.
+    const std::uint64_t wbuf = std::max<std::uint64_t>(cfg.wbufBits / 2, 1);
+    const std::uint64_t ibuf = std::max<std::uint64_t>(cfg.ibufBits / 2, 1);
+    const std::uint64_t obuf = std::max<std::uint64_t>(cfg.obufBits / 2, 1);
+    const unsigned acc_bits = 32; // partial sums accumulate at 32-bit
+
+    const std::uint64_t w_total = m * k * bits.wBits;
+    const std::uint64_t i_total = k * n_total * bits.aBits;
+    const std::uint64_t o_total = m * n_total * acc_bits;
+
+    // Search power-of-two tile candidates for the (mt, kt, nt)
+    // triple minimizing off-chip traffic under the residency
+    // constraints:  mt*kt*wBits <= wbuf,  kt*nt*aBits <= ibuf,
+    // mt*nt*acc <= obuf (partials live in OBUF across k-tiles).
+    Tiling best;
+    std::uint64_t best_cost = ~0ULL;
+    for (std::uint64_t kt = 1;; kt *= 2) {
+        kt = std::min(kt, k);
+        for (std::uint64_t mt = 1;; mt *= 2) {
+            mt = std::min(mt, m);
+            if (mt * kt * bits.wBits > wbuf && !(mt == 1 && kt == 1))
+                break;
+            std::uint64_t nt =
+                std::min(ibuf / std::max<std::uint64_t>(1, kt * bits.aBits),
+                         obuf / std::max<std::uint64_t>(1, mt * acc_bits));
+            nt = std::max<std::uint64_t>(1, std::min(nt, n_total));
+
+            Tiling t{mt, kt, nt};
+            const std::uint64_t cost = std::min(
+                trafficBits(LoopOrder::InputStationary, t, m, k,
+                            n_total, w_total, i_total, o_total),
+                trafficBits(LoopOrder::WeightStationary, t, m, k,
+                            n_total, w_total, i_total, o_total));
+            if (cost < best_cost ||
+                (cost == best_cost && mt * kt > best.mt * best.kt)) {
+                best_cost = cost;
+                best = t;
+            }
+            if (mt == m)
+                break;
+        }
+        if (kt == k)
+            break;
+    }
+    BF_ASSERT(best_cost != ~0ULL, "tile search found no feasible tile");
+    return best;
+}
+
+std::uint64_t
+Tiler::trafficBits(LoopOrder order, const Tiling &tile, std::uint64_t m,
+                   std::uint64_t k, std::uint64_t n_total,
+                   std::uint64_t w_bits_total, std::uint64_t i_bits_total,
+                   std::uint64_t o_bits_total)
+{
+    const std::uint64_t n_tiles = divCeil(n_total, tile.nt);
+    const std::uint64_t m_tiles = divCeil(m, tile.mt);
+    const bool weights_resident = tile.mt >= m && tile.kt >= k;
+    const bool inputs_resident = tile.kt >= k && tile.nt >= n_total;
+    switch (order) {
+      case LoopOrder::InputStationary:
+        // Inputs fetched once; each n-tile revisits all weight tiles
+        // unless the whole weight matrix stays on chip.
+        return i_bits_total +
+               w_bits_total * (weights_resident ? 1 : n_tiles) +
+               o_bits_total;
+      case LoopOrder::WeightStationary:
+        // Weights fetched once; each m-tile revisits all input tiles
+        // unless the whole input stream stays on chip.
+        return w_bits_total +
+               i_bits_total * (inputs_resident ? 1 : m_tiles) +
+               o_bits_total;
+    }
+    BF_PANIC("unknown loop order");
+}
+
+LoopOrder
+Tiler::chooseOrder(const Tiling &tile, std::uint64_t m, std::uint64_t k,
+                   std::uint64_t n_total, std::uint64_t w_bits_total,
+                   std::uint64_t i_bits_total,
+                   std::uint64_t o_bits_total) const
+{
+    if (!cfg.loopOrdering)
+        return LoopOrder::InputStationary;
+    const std::uint64_t in_stat =
+        trafficBits(LoopOrder::InputStationary, tile, m, k, n_total,
+                    w_bits_total, i_bits_total, o_bits_total);
+    const std::uint64_t w_stat =
+        trafficBits(LoopOrder::WeightStationary, tile, m, k, n_total,
+                    w_bits_total, i_bits_total, o_bits_total);
+    return w_stat < in_stat ? LoopOrder::WeightStationary
+                            : LoopOrder::InputStationary;
+}
+
+} // namespace bitfusion

@@ -1,0 +1,29 @@
+#include "src/core/accelerator.h"
+
+namespace bitfusion {
+
+Accelerator::Accelerator(const AcceleratorConfig &cfg)
+    : cfg(cfg), _compiler(this->cfg), sim(this->cfg)
+{
+    this->cfg.validate();
+}
+
+CompiledNetwork
+Accelerator::compile(const Network &net) const
+{
+    return _compiler.compile(net);
+}
+
+RunStats
+Accelerator::run(const CompiledNetwork &compiled) const
+{
+    return sim.run(compiled);
+}
+
+RunStats
+Accelerator::run(const Network &net) const
+{
+    return sim.run(compile(net));
+}
+
+} // namespace bitfusion

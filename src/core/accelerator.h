@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Public entry point of the Bit Fusion library.
+ *
+ * Typical use:
+ * @code
+ *   auto cfg = AcceleratorConfig::eyerissMatched45();
+ *   Accelerator acc(cfg);
+ *   auto bench = zoo::alexnet();
+ *   RunStats stats = acc.run(bench.quantized);
+ *   std::cout << stats.secondsPerSample() << "\n";
+ * @endcode
+ */
+
+#ifndef BITFUSION_CORE_ACCELERATOR_H
+#define BITFUSION_CORE_ACCELERATOR_H
+
+#include "src/compiler/codegen.h"
+#include "src/core/stats.h"
+#include "src/dnn/network.h"
+#include "src/sim/config.h"
+#include "src/sim/simulator.h"
+
+namespace bitfusion {
+
+/** A configured Bit Fusion accelerator instance. */
+class Accelerator
+{
+  public:
+    /** Construct from a configuration (validated on entry). */
+    explicit Accelerator(const AcceleratorConfig &cfg);
+
+    /** Compile a network for this configuration. */
+    CompiledNetwork compile(const Network &net) const;
+
+    /** Simulate a previously compiled network (one batch). */
+    RunStats run(const CompiledNetwork &compiled) const;
+
+    /** Compile-and-run convenience. */
+    RunStats run(const Network &net) const;
+
+    const AcceleratorConfig &config() const { return cfg; }
+    const Compiler &compiler() const { return _compiler; }
+    const Simulator &simulator() const { return sim; }
+
+  private:
+    AcceleratorConfig cfg;
+    Compiler _compiler;
+    Simulator sim;
+};
+
+} // namespace bitfusion
+
+#endif // BITFUSION_CORE_ACCELERATOR_H

@@ -1,0 +1,63 @@
+#include "src/core/report.h"
+
+#include <sstream>
+
+#include "src/common/logging.h"
+
+namespace bitfusion {
+namespace report {
+
+std::string
+csv(const RunStats &stats)
+{
+    std::ostringstream os;
+    os << "layer,config,macs,compute_cycles,mem_cycles,cycles,"
+          "utilization,dram_load_bits,dram_store_bits,sram_bits,"
+          "rf_bits,compute_j,buffer_j,rf_j,dram_j\n";
+    for (const auto &l : stats.layers) {
+        os << l.name << ',' << l.config << ',' << l.macs << ','
+           << l.computeCycles << ',' << l.memCycles << ',' << l.cycles
+           << ',' << l.utilization << ',' << l.dramLoadBits << ','
+           << l.dramStoreBits << ',' << l.sramBits << ',' << l.rfBits
+           << ',' << l.energy.computeJ << ',' << l.energy.bufferJ << ','
+           << l.energy.rfJ << ',' << l.energy.dramJ << '\n';
+    }
+    return os.str();
+}
+
+std::string
+summary(const RunStats &stats)
+{
+    std::ostringstream os;
+    const ComponentEnergy e = stats.energy();
+    os << stats.platform << " running " << stats.network << " (batch "
+       << stats.batch << ")\n";
+    os << "  cycles/batch    : " << stats.totalCycles << " @ "
+       << stats.freqMHz << " MHz\n";
+    os << "  latency/sample  : " << stats.secondsPerSample() * 1e6
+       << " us\n";
+    os << "  macs/batch      : " << stats.totalMacs() << "\n";
+    os << "  energy/sample   : " << stats.energyPerSampleJ() * 1e6
+       << " uJ (compute " << e.computeJ * 1e6 << ", buffers "
+       << e.bufferJ * 1e6 << ", rf " << e.rfJ * 1e6 << ", dram "
+       << e.dramJ * 1e6 << ")\n";
+    return os.str();
+}
+
+std::string
+versus(const RunStats &subject, const RunStats &baseline)
+{
+    BF_ASSERT(subject.network == baseline.network,
+              "comparing runs of different networks");
+    std::ostringstream os;
+    os << subject.platform << " vs " << baseline.platform << " on "
+       << subject.network << ": "
+       << baseline.secondsPerSample() / subject.secondsPerSample()
+       << "x speedup, "
+       << baseline.energyPerSampleJ() / subject.energyPerSampleJ()
+       << "x energy reduction";
+    return os.str();
+}
+
+} // namespace report
+} // namespace bitfusion

@@ -1,0 +1,271 @@
+#include "src/dnn/layer.h"
+
+#include "src/common/logging.h"
+
+namespace bitfusion {
+
+std::string
+toString(LayerKind kind)
+{
+    switch (kind) {
+      case LayerKind::Conv: return "conv";
+      case LayerKind::FullyConnected: return "fc";
+      case LayerKind::Pool: return "pool";
+      case LayerKind::Activation: return "act";
+      case LayerKind::Rnn: return "rnn";
+      case LayerKind::Lstm: return "lstm";
+    }
+    BF_PANIC("unknown layer kind");
+}
+
+unsigned
+Layer::outH() const
+{
+    switch (kind) {
+      case LayerKind::Conv:
+      case LayerKind::Pool:
+        BF_ASSERT(inH + 2 * pad >= kH, "layer ", name, ": kernel taller ",
+                  "than padded input");
+        return (inH + 2 * pad - kH) / stride + 1;
+      case LayerKind::Activation:
+        return inH;
+      default:
+        return 1;
+    }
+}
+
+unsigned
+Layer::outW() const
+{
+    switch (kind) {
+      case LayerKind::Conv:
+      case LayerKind::Pool:
+        BF_ASSERT(inW + 2 * pad >= kW, "layer ", name, ": kernel wider ",
+                  "than padded input");
+        return (inW + 2 * pad - kW) / stride + 1;
+      case LayerKind::Activation:
+        return inW;
+      default:
+        return 1;
+    }
+}
+
+std::uint64_t
+Layer::macsPerSample() const
+{
+    switch (kind) {
+      case LayerKind::Conv:
+        return static_cast<std::uint64_t>(outC) * outH() * outW() *
+               (inC / groups) * kH * kW;
+      case LayerKind::FullyConnected:
+        return static_cast<std::uint64_t>(inC) * outC;
+      case LayerKind::Rnn:
+        // h' = f(Wx x + Wh h): two dense products into the hidden
+        // state, one timestep.
+        return static_cast<std::uint64_t>(inC + outC) * outC;
+      case LayerKind::Lstm:
+        // Four gates, each (Wx x + Wh h).
+        return 4ULL * (inC + outC) * outC;
+      case LayerKind::Pool:
+      case LayerKind::Activation:
+        return 0;
+    }
+    BF_PANIC("unknown layer kind");
+}
+
+std::uint64_t
+Layer::auxOpsPerSample() const
+{
+    switch (kind) {
+      case LayerKind::Pool:
+        return static_cast<std::uint64_t>(inC) * outH() * outW() * kH * kW;
+      case LayerKind::Activation:
+        return static_cast<std::uint64_t>(inC) * inH * inW;
+      case LayerKind::Rnn:
+        return outC;
+      case LayerKind::Lstm:
+        // Gate nonlinearities plus elementwise cell updates.
+        return 7ULL * outC;
+      default:
+        return 0;
+    }
+}
+
+std::uint64_t
+Layer::weightCount() const
+{
+    switch (kind) {
+      case LayerKind::Conv:
+        return static_cast<std::uint64_t>(outC) * (inC / groups) * kH * kW;
+      case LayerKind::FullyConnected:
+        return static_cast<std::uint64_t>(inC) * outC;
+      case LayerKind::Rnn:
+        return static_cast<std::uint64_t>(inC + outC) * outC;
+      case LayerKind::Lstm:
+        return 4ULL * (inC + outC) * outC;
+      case LayerKind::Pool:
+      case LayerKind::Activation:
+        return 0;
+    }
+    BF_PANIC("unknown layer kind");
+}
+
+std::uint64_t
+Layer::inputCount() const
+{
+    switch (kind) {
+      case LayerKind::Conv:
+      case LayerKind::Pool:
+      case LayerKind::Activation:
+        return static_cast<std::uint64_t>(inC) * inH * inW;
+      case LayerKind::FullyConnected:
+        return inC;
+      case LayerKind::Rnn:
+      case LayerKind::Lstm:
+        // Input features plus the recurrent hidden state.
+        return static_cast<std::uint64_t>(inC) + outC;
+    }
+    BF_PANIC("unknown layer kind");
+}
+
+std::uint64_t
+Layer::outputCount() const
+{
+    switch (kind) {
+      case LayerKind::Conv:
+      case LayerKind::Pool:
+        return static_cast<std::uint64_t>(outC) * outH() * outW();
+      case LayerKind::Activation:
+        return static_cast<std::uint64_t>(inC) * inH * inW;
+      case LayerKind::FullyConnected:
+      case LayerKind::Rnn:
+        return outC;
+      case LayerKind::Lstm:
+        return 2ULL * outC; // hidden state and cell state
+    }
+    BF_PANIC("unknown layer kind");
+}
+
+std::uint64_t
+Layer::weightBits() const
+{
+    return weightCount() * bits.wBits;
+}
+
+bool
+Layer::usesMacArray() const
+{
+    return kind == LayerKind::Conv || kind == LayerKind::FullyConnected ||
+           kind == LayerKind::Rnn || kind == LayerKind::Lstm;
+}
+
+Layer::GemmShape
+Layer::gemmShape() const
+{
+    switch (kind) {
+      case LayerKind::Conv:
+        return {outC, static_cast<std::uint64_t>(inC / groups) * kH * kW,
+                static_cast<std::uint64_t>(outH()) * outW()};
+      case LayerKind::FullyConnected:
+        return {outC, inC, 1};
+      case LayerKind::Rnn:
+        return {outC, static_cast<std::uint64_t>(inC) + outC, 1};
+      case LayerKind::Lstm:
+        return {4ULL * outC, static_cast<std::uint64_t>(inC) + outC, 1};
+      case LayerKind::Pool:
+      case LayerKind::Activation:
+        return {0, 0, 0};
+    }
+    BF_PANIC("unknown layer kind");
+}
+
+Layer
+Layer::conv(std::string name, unsigned in_c, unsigned in_h, unsigned in_w,
+            unsigned out_c, unsigned k, unsigned stride, unsigned pad,
+            FusionConfig bits, unsigned groups)
+{
+    BF_ASSERT(groups >= 1 && in_c % groups == 0 && out_c % groups == 0,
+              "conv ", name, ": channels not divisible by groups");
+    Layer l;
+    l.name = std::move(name);
+    l.kind = LayerKind::Conv;
+    l.bits = bits;
+    l.inC = in_c;
+    l.inH = in_h;
+    l.inW = in_w;
+    l.outC = out_c;
+    l.kH = l.kW = k;
+    l.stride = stride;
+    l.pad = pad;
+    l.groups = groups;
+    return l;
+}
+
+Layer
+Layer::fc(std::string name, unsigned in_c, unsigned out_c, FusionConfig bits)
+{
+    Layer l;
+    l.name = std::move(name);
+    l.kind = LayerKind::FullyConnected;
+    l.bits = bits;
+    l.inC = in_c;
+    l.outC = out_c;
+    return l;
+}
+
+Layer
+Layer::pool(std::string name, unsigned c, unsigned in_h, unsigned in_w,
+            unsigned k, unsigned stride)
+{
+    Layer l;
+    l.name = std::move(name);
+    l.kind = LayerKind::Pool;
+    l.inC = c;
+    l.outC = c;
+    l.inH = in_h;
+    l.inW = in_w;
+    l.kH = l.kW = k;
+    l.stride = stride;
+    return l;
+}
+
+Layer
+Layer::activation(std::string name, unsigned c, unsigned h, unsigned w)
+{
+    Layer l;
+    l.name = std::move(name);
+    l.kind = LayerKind::Activation;
+    l.inC = c;
+    l.outC = c;
+    l.inH = h;
+    l.inW = w;
+    return l;
+}
+
+Layer
+Layer::rnn(std::string name, unsigned in_c, unsigned hidden,
+           FusionConfig bits)
+{
+    Layer l;
+    l.name = std::move(name);
+    l.kind = LayerKind::Rnn;
+    l.bits = bits;
+    l.inC = in_c;
+    l.outC = hidden;
+    return l;
+}
+
+Layer
+Layer::lstm(std::string name, unsigned in_c, unsigned hidden,
+            FusionConfig bits)
+{
+    Layer l;
+    l.name = std::move(name);
+    l.kind = LayerKind::Lstm;
+    l.bits = bits;
+    l.inC = in_c;
+    l.outC = hidden;
+    return l;
+}
+
+} // namespace bitfusion

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Layer descriptors for the DNN substrate.
+ *
+ * A layer carries its shape, kind, and the operand bitwidths the
+ * quantized model uses for it (paper Fig. 1: bitwidths vary per layer
+ * and per network). All op/footprint accounting used by the
+ * simulator, the baselines, and the Table II bench lives here.
+ */
+
+#ifndef BITFUSION_DNN_LAYER_H
+#define BITFUSION_DNN_LAYER_H
+
+#include <cstdint>
+#include <string>
+
+#include "src/arch/fusion_config.h"
+
+namespace bitfusion {
+
+/** Kinds of layers the accelerator supports (paper §II, §IV). */
+enum class LayerKind
+{
+    Conv,           ///< 2-D convolution.
+    FullyConnected, ///< Dense matrix-vector (matrix-matrix batched).
+    Pool,           ///< Max/average pooling (pooling unit).
+    Activation,     ///< Elementwise nonlinearity (activation unit).
+    Rnn,            ///< Vanilla recurrent cell, one timestep.
+    Lstm,           ///< LSTM cell (4 gates), one timestep.
+};
+
+/** Printable name of a layer kind. */
+std::string toString(LayerKind kind);
+
+/**
+ * One layer of a network.
+ *
+ * Shape conventions:
+ *  - Conv: input (inC, inH, inW), kernels (outC, inC, kH, kW), output
+ *    (outC, outH, outW) with outH/outW derived from stride/pad.
+ *  - FullyConnected: inC inputs, outC outputs (H = W = 1).
+ *  - Pool/Activation: channel/spatial dims of their input.
+ *  - Rnn/Lstm: inC input features, outC hidden units, one timestep.
+ */
+struct Layer
+{
+    std::string name;
+    LayerKind kind = LayerKind::Conv;
+    /** Operand bitwidths for this layer. */
+    FusionConfig bits;
+
+    unsigned inC = 1, inH = 1, inW = 1;
+    unsigned outC = 1;
+    unsigned kH = 1, kW = 1;
+    unsigned stride = 1, pad = 0;
+    /** Conv groups (AlexNet's grouped convolutions). */
+    unsigned groups = 1;
+
+    /** Derived output height. */
+    unsigned outH() const;
+    /** Derived output width. */
+    unsigned outW() const;
+
+    /** Multiply-add count for one input sample. */
+    std::uint64_t macsPerSample() const;
+    /** Non-MAC ops (pool compares, activation evaluations). */
+    std::uint64_t auxOpsPerSample() const;
+    /** Weight (parameter) count. */
+    std::uint64_t weightCount() const;
+    /** Input activation element count per sample. */
+    std::uint64_t inputCount() const;
+    /** Output activation element count per sample. */
+    std::uint64_t outputCount() const;
+    /** Weight footprint in bits at this layer's weight bitwidth. */
+    std::uint64_t weightBits() const;
+
+    /** True for layers executed on the systolic array. */
+    bool usesMacArray() const;
+
+    /**
+     * GEMM view of the layer as mapped onto the systolic array:
+     * M = independent outputs, K = reduction length, N = spatial
+     * positions per sample that share weights.
+     */
+    struct GemmShape
+    {
+        std::uint64_t m;
+        std::uint64_t k;
+        std::uint64_t n;
+    };
+    GemmShape gemmShape() const;
+
+    // --- Convenience constructors -------------------------------
+
+    static Layer conv(std::string name, unsigned in_c, unsigned in_h,
+                      unsigned in_w, unsigned out_c, unsigned k,
+                      unsigned stride, unsigned pad, FusionConfig bits,
+                      unsigned groups = 1);
+    static Layer fc(std::string name, unsigned in_c, unsigned out_c,
+                    FusionConfig bits);
+    static Layer pool(std::string name, unsigned c, unsigned in_h,
+                      unsigned in_w, unsigned k, unsigned stride);
+    static Layer activation(std::string name, unsigned c, unsigned h,
+                            unsigned w);
+    static Layer rnn(std::string name, unsigned in_c, unsigned hidden,
+                     FusionConfig bits);
+    static Layer lstm(std::string name, unsigned in_c, unsigned hidden,
+                      FusionConfig bits);
+};
+
+} // namespace bitfusion
+
+#endif // BITFUSION_DNN_LAYER_H

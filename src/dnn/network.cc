@@ -1,0 +1,98 @@
+#include "src/dnn/network.h"
+
+#include "src/common/logging.h"
+
+namespace bitfusion {
+
+Network::Network(std::string name, std::vector<Layer> layers)
+    : _name(std::move(name)), _layers(std::move(layers))
+{
+}
+
+Network &
+Network::add(Layer layer)
+{
+    _layers.push_back(std::move(layer));
+    return *this;
+}
+
+std::uint64_t
+Network::totalMacs() const
+{
+    std::uint64_t total = 0;
+    for (const auto &l : _layers)
+        total += l.macsPerSample();
+    return total;
+}
+
+std::uint64_t
+Network::totalAuxOps() const
+{
+    std::uint64_t total = 0;
+    for (const auto &l : _layers)
+        total += l.auxOpsPerSample();
+    return total;
+}
+
+std::uint64_t
+Network::totalWeights() const
+{
+    std::uint64_t total = 0;
+    for (const auto &l : _layers)
+        total += l.weightCount();
+    return total;
+}
+
+std::uint64_t
+Network::totalWeightBits() const
+{
+    std::uint64_t total = 0;
+    for (const auto &l : _layers)
+        total += l.weightBits();
+    return total;
+}
+
+double
+Network::macFraction() const
+{
+    const double macs = static_cast<double>(totalMacs());
+    const double aux = static_cast<double>(totalAuxOps());
+    BF_ASSERT(macs + aux > 0.0, "empty network ", _name);
+    return macs / (macs + aux);
+}
+
+std::map<std::string, double>
+Network::macBitwidthProfile() const
+{
+    std::map<std::string, double> bits_to_macs;
+    std::uint64_t total = 0;
+    for (const auto &l : _layers) {
+        const std::uint64_t macs = l.macsPerSample();
+        if (macs == 0)
+            continue;
+        bits_to_macs[l.bits.toString()] += static_cast<double>(macs);
+        total += macs;
+    }
+    for (auto &[k, v] : bits_to_macs)
+        v /= static_cast<double>(total);
+    return bits_to_macs;
+}
+
+std::map<unsigned, double>
+Network::weightBitwidthProfile() const
+{
+    std::map<unsigned, double> bits_to_weights;
+    std::uint64_t total = 0;
+    for (const auto &l : _layers) {
+        const std::uint64_t w = l.weightCount();
+        if (w == 0)
+            continue;
+        bits_to_weights[l.bits.wBits] += static_cast<double>(w);
+        total += w;
+    }
+    for (auto &[k, v] : bits_to_weights)
+        v /= static_cast<double>(total);
+    return bits_to_weights;
+}
+
+} // namespace bitfusion

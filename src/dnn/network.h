@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Whole-network container plus the bitwidth-profile accounting used
+ * for the Fig. 1 reproduction.
+ */
+
+#ifndef BITFUSION_DNN_NETWORK_H
+#define BITFUSION_DNN_NETWORK_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/dnn/layer.h"
+
+namespace bitfusion {
+
+/** A DNN: an ordered list of layers plus bookkeeping. */
+class Network
+{
+  public:
+    Network() = default;
+    Network(std::string name, std::vector<Layer> layers);
+
+    const std::string &name() const { return _name; }
+    const std::vector<Layer> &layers() const { return _layers; }
+
+    /** Append a layer (chainable builder style). */
+    Network &add(Layer layer);
+
+    /** Total multiply-adds per input sample. */
+    std::uint64_t totalMacs() const;
+    /** Total non-MAC ops per input sample. */
+    std::uint64_t totalAuxOps() const;
+    /** Total parameters. */
+    std::uint64_t totalWeights() const;
+    /** Total weight footprint in bits at each layer's bitwidth. */
+    std::uint64_t totalWeightBits() const;
+
+    /**
+     * Fraction of all ops that are multiply-adds (the >99% column of
+     * the Fig. 1 table).
+     */
+    double macFraction() const;
+
+    /**
+     * Fraction of multiply-adds per activation/weight bitwidth pair,
+     * keyed by the "aB/wB" string (Fig. 1a).
+     */
+    std::map<std::string, double> macBitwidthProfile() const;
+
+    /**
+     * Fraction of weights per weight bitwidth (Fig. 1b).
+     */
+    std::map<unsigned, double> weightBitwidthProfile() const;
+
+  private:
+    std::string _name;
+    std::vector<Layer> _layers;
+};
+
+} // namespace bitfusion
+
+#endif // BITFUSION_DNN_NETWORK_H

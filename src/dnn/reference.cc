@@ -1,0 +1,213 @@
+#include "src/dnn/reference.h"
+
+#include <algorithm>
+
+#include "src/common/bitutils.h"
+#include "src/common/logging.h"
+
+namespace bitfusion {
+
+Tensor
+Reference::conv(const Layer &layer, const Tensor &input,
+                const Tensor &weights)
+{
+    BF_ASSERT(layer.kind == LayerKind::Conv);
+    BF_ASSERT(input.c() == layer.inC && input.h() == layer.inH &&
+              input.w() == layer.inW, "conv input shape mismatch");
+    BF_ASSERT(weights.size() == layer.weightCount(),
+              "conv weight count mismatch");
+
+    const unsigned out_h = layer.outH();
+    const unsigned out_w = layer.outW();
+    const unsigned ic_per_group = layer.inC / layer.groups;
+    const unsigned oc_per_group = layer.outC / layer.groups;
+
+    Tensor out(layer.outC, out_h, out_w);
+    for (unsigned oc = 0; oc < layer.outC; ++oc) {
+        const unsigned g = oc / oc_per_group;
+        for (unsigned oy = 0; oy < out_h; ++oy) {
+            for (unsigned ox = 0; ox < out_w; ++ox) {
+                std::int64_t acc = 0;
+                for (unsigned ic = 0; ic < ic_per_group; ++ic) {
+                    for (unsigned ky = 0; ky < layer.kH; ++ky) {
+                        const int iy = static_cast<int>(oy * layer.stride +
+                                                        ky) -
+                                       static_cast<int>(layer.pad);
+                        if (iy < 0 || iy >= static_cast<int>(layer.inH))
+                            continue;
+                        for (unsigned kx = 0; kx < layer.kW; ++kx) {
+                            const int ix =
+                                static_cast<int>(ox * layer.stride + kx) -
+                                static_cast<int>(layer.pad);
+                            if (ix < 0 || ix >= static_cast<int>(layer.inW))
+                                continue;
+                            const std::size_t widx =
+                                ((static_cast<std::size_t>(oc) *
+                                      ic_per_group +
+                                  ic) * layer.kH + ky) * layer.kW + kx;
+                            acc += input.at(g * ic_per_group + ic,
+                                            static_cast<unsigned>(iy),
+                                            static_cast<unsigned>(ix)) *
+                                   weights[widx];
+                        }
+                    }
+                }
+                out.at(oc, oy, ox) = acc;
+            }
+        }
+    }
+    return out;
+}
+
+Tensor
+Reference::fullyConnected(const Layer &layer, const Tensor &input,
+                          const Tensor &weights)
+{
+    BF_ASSERT(layer.kind == LayerKind::FullyConnected);
+    BF_ASSERT(input.size() == layer.inC, "fc input size mismatch");
+    BF_ASSERT(weights.size() == layer.weightCount(),
+              "fc weight count mismatch");
+
+    Tensor out(static_cast<std::size_t>(layer.outC));
+    for (unsigned o = 0; o < layer.outC; ++o) {
+        std::int64_t acc = 0;
+        for (unsigned i = 0; i < layer.inC; ++i)
+            acc += input[i] *
+                   weights[static_cast<std::size_t>(o) * layer.inC + i];
+        out[o] = acc;
+    }
+    return out;
+}
+
+Tensor
+Reference::maxPool(const Layer &layer, const Tensor &input)
+{
+    BF_ASSERT(layer.kind == LayerKind::Pool);
+    const unsigned out_h = layer.outH();
+    const unsigned out_w = layer.outW();
+
+    Tensor out(layer.inC, out_h, out_w);
+    for (unsigned c = 0; c < layer.inC; ++c) {
+        for (unsigned oy = 0; oy < out_h; ++oy) {
+            for (unsigned ox = 0; ox < out_w; ++ox) {
+                std::int64_t best = INT64_MIN;
+                for (unsigned ky = 0; ky < layer.kH; ++ky) {
+                    for (unsigned kx = 0; kx < layer.kW; ++kx) {
+                        const unsigned iy = oy * layer.stride + ky;
+                        const unsigned ix = ox * layer.stride + kx;
+                        if (iy >= layer.inH || ix >= layer.inW)
+                            continue;
+                        best = std::max(best, input.at(c, iy, ix));
+                    }
+                }
+                out.at(c, oy, ox) = best;
+            }
+        }
+    }
+    return out;
+}
+
+Tensor
+Reference::relu(const Tensor &input)
+{
+    Tensor out = input;
+    for (std::size_t i = 0; i < out.size(); ++i)
+        out[i] = std::max<std::int64_t>(out[i], 0);
+    return out;
+}
+
+Tensor
+Reference::requantize(const Tensor &input, unsigned bits, unsigned shift)
+{
+    Tensor out = input;
+    for (std::size_t i = 0; i < out.size(); ++i)
+        out[i] = clampUnsigned(out[i] >> shift, bits);
+    return out;
+}
+
+std::int64_t
+Reference::hardSigmoid(std::int64_t x, unsigned frac_bits)
+{
+    const std::int64_t one = std::int64_t{1} << frac_bits;
+    const std::int64_t half = one / 2;
+    const std::int64_t y = (x >> 2) + half;
+    return std::max<std::int64_t>(0, std::min(one, y));
+}
+
+std::int64_t
+Reference::hardTanh(std::int64_t x, unsigned frac_bits)
+{
+    const std::int64_t one = std::int64_t{1} << frac_bits;
+    return std::max(-one, std::min(one, x));
+}
+
+Tensor
+Reference::lstmCell(const Layer &layer, const Tensor &x, const Tensor &h,
+                    const Tensor &c, const Tensor &weights,
+                    unsigned frac_bits)
+{
+    BF_ASSERT(layer.kind == LayerKind::Lstm);
+    const unsigned hidden = layer.outC;
+    const unsigned in_c = layer.inC;
+    BF_ASSERT(x.size() == in_c && h.size() == hidden &&
+              c.size() == hidden, "lstm state size mismatch");
+    BF_ASSERT(weights.size() == layer.weightCount(),
+              "lstm weight count mismatch");
+
+    const std::size_t row = in_c + hidden;
+    auto gate_z = [&](unsigned gate, unsigned j) {
+        std::int64_t acc = 0;
+        const std::size_t base =
+            (static_cast<std::size_t>(gate) * hidden + j) * row;
+        for (unsigned i = 0; i < in_c; ++i)
+            acc += x[i] * weights[base + i];
+        for (unsigned k = 0; k < hidden; ++k)
+            acc += h[k] * weights[base + in_c + k];
+        // The matrix product accumulates at Q(2*frac); rescale back.
+        return acc >> frac_bits;
+    };
+
+    Tensor out(static_cast<std::size_t>(2) * hidden);
+    for (unsigned j = 0; j < hidden; ++j) {
+        const std::int64_t i_g = hardSigmoid(gate_z(0, j), frac_bits);
+        const std::int64_t f_g = hardSigmoid(gate_z(1, j), frac_bits);
+        const std::int64_t g_g = hardTanh(gate_z(2, j), frac_bits);
+        const std::int64_t o_g = hardSigmoid(gate_z(3, j), frac_bits);
+        const std::int64_t c_new =
+            ((f_g * c[j]) >> frac_bits) + ((i_g * g_g) >> frac_bits);
+        const std::int64_t h_new =
+            (o_g * hardTanh(c_new, frac_bits)) >> frac_bits;
+        out[j] = h_new;
+        out[hidden + j] = c_new;
+    }
+    return out;
+}
+
+Tensor
+Reference::rnnCell(const Layer &layer, const Tensor &x, const Tensor &h,
+                   const Tensor &weights)
+{
+    BF_ASSERT(layer.kind == LayerKind::Rnn);
+    BF_ASSERT(x.size() == layer.inC && h.size() == layer.outC,
+              "rnn input/state size mismatch");
+    BF_ASSERT(weights.size() == layer.weightCount(),
+              "rnn weight count mismatch");
+
+    const std::size_t wx_size =
+        static_cast<std::size_t>(layer.outC) * layer.inC;
+    Tensor out(static_cast<std::size_t>(layer.outC));
+    for (unsigned j = 0; j < layer.outC; ++j) {
+        std::int64_t acc = 0;
+        for (unsigned i = 0; i < layer.inC; ++i)
+            acc += x[i] *
+                   weights[static_cast<std::size_t>(j) * layer.inC + i];
+        for (unsigned k = 0; k < layer.outC; ++k)
+            acc += h[k] *
+                   weights[wx_size +
+                           static_cast<std::size_t>(j) * layer.outC + k];
+        out[j] = std::max<std::int64_t>(acc, 0);
+    }
+    return out;
+}
+
+} // namespace bitfusion

@@ -1,0 +1,39 @@
+#include "src/dnn/tensor.h"
+
+#include "src/common/logging.h"
+
+namespace bitfusion {
+
+Tensor::Tensor(unsigned c, unsigned h, unsigned w)
+    : _c(c), _h(h), _w(w),
+      data(static_cast<std::size_t>(c) * h * w, 0)
+{
+}
+
+Tensor::Tensor(std::size_t n) : _c(static_cast<unsigned>(n)), _h(1), _w(1),
+                                data(n, 0)
+{
+}
+
+std::int64_t &
+Tensor::at(unsigned c, unsigned y, unsigned x)
+{
+    BF_ASSERT(c < _c && y < _h && x < _w, "tensor index out of range");
+    return data[(static_cast<std::size_t>(c) * _h + y) * _w + x];
+}
+
+std::int64_t
+Tensor::at(unsigned c, unsigned y, unsigned x) const
+{
+    BF_ASSERT(c < _c && y < _h && x < _w, "tensor index out of range");
+    return data[(static_cast<std::size_t>(c) * _h + y) * _w + x];
+}
+
+void
+Tensor::fillRandom(Prng &prng, unsigned bits, bool is_signed)
+{
+    for (auto &v : data)
+        v = is_signed ? prng.nextSigned(bits) : prng.nextUnsigned(bits);
+}
+
+} // namespace bitfusion

@@ -1,0 +1,226 @@
+#include "src/isa/assembler.h"
+
+#include <cctype>
+#include <sstream>
+
+#include "src/common/logging.h"
+
+namespace bitfusion {
+
+namespace {
+
+/** Split a line into whitespace-separated tokens, dropping comments. */
+std::vector<std::string>
+tokenize(const std::string &line)
+{
+    std::vector<std::string> tokens;
+    std::string current;
+    for (char c : line) {
+        if (c == ';')
+            break;
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            if (!current.empty()) {
+                tokens.push_back(current);
+                current.clear();
+            }
+        } else {
+            current.push_back(c);
+        }
+    }
+    if (!current.empty())
+        tokens.push_back(current);
+    return tokens;
+}
+
+/** Parse "key=value" returning value; fatal on mismatch. */
+std::uint64_t
+keyValue(const std::string &token, const std::string &key)
+{
+    const std::string prefix = key + "=";
+    if (token.rfind(prefix, 0) != 0)
+        BF_FATAL("expected '", key, "=<n>', got '", token, "'");
+    return std::stoull(token.substr(prefix.size()));
+}
+
+BufferId
+parseBuffer(const std::string &name)
+{
+    if (name == "IBUF")
+        return BufferId::Ibuf;
+    if (name == "OBUF")
+        return BufferId::Obuf;
+    if (name == "WBUF")
+        return BufferId::Wbuf;
+    BF_FATAL("unknown buffer '", name, "'");
+}
+
+/** Parse "@L<n>" or "@L<n>/post"; returns (level, post). */
+std::pair<unsigned, bool>
+parseLevel(const std::string &token)
+{
+    if (token.rfind("@L", 0) != 0)
+        BF_FATAL("expected '@L<n>', got '", token, "'");
+    std::size_t pos = 2;
+    unsigned level = 0;
+    while (pos < token.size() &&
+           std::isdigit(static_cast<unsigned char>(token[pos]))) {
+        level = level * 10 + (token[pos] - '0');
+        ++pos;
+    }
+    bool post = false;
+    if (pos < token.size()) {
+        if (token.substr(pos) == "/post")
+            post = true;
+        else
+            BF_FATAL("bad level suffix in '", token, "'");
+    }
+    return {level, post};
+}
+
+/** Parse the setup operand "a4u" / "w16s" form. */
+std::pair<unsigned, bool>
+parseOperand(const std::string &token, char prefix)
+{
+    if (token.empty() || token[0] != prefix)
+        BF_FATAL("expected operand starting with '", std::string(1, prefix),
+                 "', got '", token, "'");
+    std::size_t pos = 1;
+    unsigned bits = 0;
+    while (pos < token.size() &&
+           std::isdigit(static_cast<unsigned char>(token[pos]))) {
+        bits = bits * 10 + (token[pos] - '0');
+        ++pos;
+    }
+    if (pos + 1 != token.size() ||
+        (token[pos] != 'u' && token[pos] != 's'))
+        BF_FATAL("expected 'u' or 's' suffix in '", token, "'");
+    return {bits, token[pos] == 's'};
+}
+
+} // namespace
+
+Instruction
+Assembler::parseLine(const std::string &line)
+{
+    const auto tok = tokenize(line);
+    if (tok.empty())
+        BF_FATAL("empty instruction line");
+    const std::string &op = tok[0];
+
+    if (op == "setup") {
+        if (tok.size() != 3)
+            BF_FATAL("setup needs two operands");
+        const auto [a_bits, a_signed] = parseOperand(tok[1], 'a');
+        const auto [w_bits, w_signed] = parseOperand(tok[2], 'w');
+        return Instruction::setup(a_bits, w_bits, a_signed, w_signed);
+    }
+    if (op == "loop") {
+        if (tok.size() != 3)
+            BF_FATAL("loop needs id and iters");
+        return Instruction::loop(
+            static_cast<unsigned>(keyValue(tok[1], "id")),
+            keyValue(tok[2], "iters"));
+    }
+    if (op == "gen-addr") {
+        if (tok.size() != 4)
+            BF_FATAL("gen-addr needs target, loop, stride");
+        const std::size_t dot = tok[1].find('.');
+        if (dot == std::string::npos)
+            BF_FATAL("gen-addr target must be BUF.space");
+        const BufferId buf = parseBuffer(tok[1].substr(0, dot));
+        const std::string space = tok[1].substr(dot + 1);
+        AddrSpace sp;
+        if (space == "mem")
+            sp = AddrSpace::Mem;
+        else if (space == "buf")
+            sp = AddrSpace::BufAccess;
+        else if (space == "fill")
+            sp = AddrSpace::BufFill;
+        else
+            BF_FATAL("unknown address space '", space, "'");
+        return Instruction::genAddr(
+            buf, sp, static_cast<unsigned>(keyValue(tok[2], "loop")),
+            keyValue(tok[3], "stride"));
+    }
+    if (op == "ld-mem" || op == "st-mem") {
+        if (tok.size() < 4)
+            BF_FATAL(op, " needs buffer, words, level");
+        const BufferId buf = parseBuffer(tok[1]);
+        const std::uint64_t words = keyValue(tok[2], "words");
+        const auto [level, post] = parseLevel(tok[3]);
+        bool act = false;
+        if (tok.size() == 5) {
+            if (tok[4] != "+act" || op != "st-mem")
+                BF_FATAL("unexpected trailing token '", tok[4], "'");
+            act = true;
+        } else if (tok.size() > 5) {
+            BF_FATAL("too many operands for ", op);
+        }
+        return op == "ld-mem"
+                   ? Instruction::ldMem(buf, level, words, post)
+                   : Instruction::stMem(buf, level, words, post, act);
+    }
+    if (op == "rd-buf" || op == "wr-buf") {
+        if (tok.size() != 3)
+            BF_FATAL(op, " needs buffer and level");
+        const BufferId buf = parseBuffer(tok[1]);
+        const auto [level, post] = parseLevel(tok[2]);
+        return op == "rd-buf" ? Instruction::rdBuf(buf, level, post)
+                              : Instruction::wrBuf(buf, level, post);
+    }
+    if (op == "compute") {
+        if (tok.size() < 3)
+            BF_FATAL("compute needs fn and level");
+        const auto [level, post] = parseLevel(tok[2]);
+        if (post)
+            BF_FATAL("compute has no post form");
+        if (tok[1] == "mac")
+            return Instruction::compute(ComputeFn::Mac, level);
+        if (tok[1] == "max")
+            return Instruction::compute(ComputeFn::Max, level);
+        if (tok[1] == "reset")
+            return Instruction::compute(ComputeFn::Reset, level);
+        if (tok[1] == "relu-quant") {
+            if (tok.size() != 5)
+                BF_FATAL("relu-quant needs shift= and bits=");
+            const unsigned shift =
+                static_cast<unsigned>(keyValue(tok[3], "shift"));
+            const unsigned bits =
+                static_cast<unsigned>(keyValue(tok[4], "bits"));
+            return Instruction::compute(ComputeFn::ReluQuant, level,
+                                        (bits << 8) | (shift & 0xff));
+        }
+        BF_FATAL("unknown compute fn '", tok[1], "'");
+    }
+    if (op == "set-rows") {
+        if (tok.size() != 3)
+            BF_FATAL("set-rows needs rows and level");
+        const std::uint64_t rows = keyValue(tok[1], "rows");
+        const auto [level, post] = parseLevel(tok[2]);
+        return Instruction::setRows(level, rows, post);
+    }
+    if (op == "block-end") {
+        if (tok.size() != 2)
+            BF_FATAL("block-end needs next=");
+        return Instruction::blockEnd(
+            static_cast<unsigned>(keyValue(tok[1], "next")));
+    }
+    BF_FATAL("unknown opcode '", op, "'");
+}
+
+std::vector<Instruction>
+Assembler::parse(const std::string &text)
+{
+    std::vector<Instruction> out;
+    std::istringstream is(text);
+    std::string line;
+    while (std::getline(is, line)) {
+        const auto tok = tokenize(line);
+        if (tok.empty())
+            continue;
+        out.push_back(parseLine(line));
+    }
+    return out;
+}
+
+} // namespace bitfusion

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Fusion-ISA text assembler: parses the mnemonic syntax the
+ * disassembler emits back into instructions, completing the
+ * round-trippable toolchain (disassemble -> edit -> assemble).
+ *
+ * Grammar (one instruction per line; indentation and blank lines are
+ * ignored; ';' starts a comment):
+ *
+ *   setup a<bits><u|s> w<bits><u|s>
+ *   loop id=<n> iters=<n>
+ *   gen-addr <IBUF|OBUF|WBUF>.<mem|buf|fill> loop=<n> stride=<n>
+ *   ld-mem <buf> words=<n> @L<n>[/post]
+ *   st-mem <buf> words=<n> @L<n>[/post] [+act]
+ *   rd-buf <buf> @L<n>[/post]
+ *   wr-buf <buf> @L<n>[/post]
+ *   compute <mac|max|reset> @L<n>
+ *   compute relu-quant @L<n> shift=<n> bits=<n>
+ *   set-rows rows=<n> @L<n>
+ *   block-end next=<n>
+ */
+
+#ifndef BITFUSION_ISA_ASSEMBLER_H
+#define BITFUSION_ISA_ASSEMBLER_H
+
+#include <string>
+#include <vector>
+
+#include "src/isa/instruction.h"
+
+namespace bitfusion {
+
+/** Text-to-instruction assembler. */
+class Assembler
+{
+  public:
+    /**
+     * Assemble one instruction from a single line.
+     * Fatal on malformed input (assembler input is user-supplied).
+     */
+    static Instruction parseLine(const std::string &line);
+
+    /**
+     * Assemble a multi-line program; comment-only and blank lines
+     * are skipped.
+     */
+    static std::vector<Instruction> parse(const std::string &text);
+};
+
+} // namespace bitfusion
+
+#endif // BITFUSION_ISA_ASSEMBLER_H

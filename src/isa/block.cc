@@ -1,0 +1,143 @@
+#include "src/isa/block.h"
+
+#include <set>
+#include <sstream>
+
+#include "src/common/logging.h"
+
+namespace bitfusion {
+
+unsigned
+InstructionBlock::loopCount() const
+{
+    unsigned n = 0;
+    for (const auto &i : instructions)
+        if (i.op == Opcode::Loop)
+            ++n;
+    return n;
+}
+
+std::uint64_t
+InstructionBlock::loopIterations(unsigned idx) const
+{
+    unsigned n = 0;
+    for (const auto &i : instructions) {
+        if (i.op == Opcode::Loop) {
+            if (n == idx)
+                return i.fullImm();
+            ++n;
+        }
+    }
+    BF_PANIC("loop index ", idx, " out of range");
+}
+
+std::uint64_t
+InstructionBlock::innermostIterations() const
+{
+    std::uint64_t total = 1;
+    for (const auto &i : instructions)
+        if (i.op == Opcode::Loop)
+            total *= i.fullImm();
+    return total;
+}
+
+void
+InstructionBlock::validate() const
+{
+    if (instructions.empty())
+        BF_FATAL("block '", name, "' is empty");
+    if (instructions.front().op != Opcode::Setup)
+        BF_FATAL("block '", name, "' does not start with setup");
+    if (instructions.back().op != Opcode::BlockEnd)
+        BF_FATAL("block '", name, "' does not end with block-end");
+
+    std::set<unsigned> loop_ids;
+    unsigned loops = 0;
+    for (const auto &inst : instructions) {
+        switch (inst.op) {
+          case Opcode::Setup:
+            break;
+          case Opcode::Loop:
+            if (!loop_ids.insert(inst.id).second)
+                BF_FATAL("block '", name, "': duplicate loop id ",
+                         static_cast<int>(inst.id));
+            ++loops;
+            break;
+          case Opcode::GenAddr:
+            if (inst.id < 48 && !loop_ids.count(inst.id))
+                BF_FATAL("block '", name, "': gen-addr references ",
+                         "undeclared loop ", static_cast<int>(inst.id));
+            break;
+          case Opcode::LdMem:
+          case Opcode::StMem:
+          case Opcode::RdBuf:
+          case Opcode::WrBuf:
+          case Opcode::Compute:
+          case Opcode::SetRows:
+            // Body instructions may sit at most one level inside the
+            // loops declared so far (level == loops means innermost
+            // body of the declared nest).
+            if (inst.id > loops)
+                BF_FATAL("block '", name, "': instruction at level ",
+                         static_cast<int>(inst.id), " but only ", loops,
+                         " loops declared before it");
+            break;
+          case Opcode::BlockEnd:
+            break;
+        }
+    }
+    config.validate();
+}
+
+std::vector<std::uint32_t>
+InstructionBlock::encodeWords() const
+{
+    std::vector<std::uint32_t> words;
+    words.reserve(instructions.size() + 4);
+    std::uint32_t buf[2];
+    for (const auto &inst : instructions) {
+        const unsigned n = encode(inst, buf);
+        words.push_back(buf[0]);
+        if (n == 2)
+            words.push_back(buf[1]);
+    }
+    return words;
+}
+
+std::vector<Instruction>
+InstructionBlock::decodeWords(const std::vector<std::uint32_t> &words)
+{
+    std::vector<Instruction> out;
+    std::size_t pos = 0;
+    while (pos < words.size()) {
+        unsigned consumed = 0;
+        out.push_back(decode(words.data() + pos, &consumed));
+        pos += consumed;
+    }
+    return out;
+}
+
+std::string
+InstructionBlock::disassemble() const
+{
+    std::ostringstream os;
+    os << "; block '" << name << "' config " << config.toString()
+       << " bases I=" << baseAddr[0] << " O=" << baseAddr[1]
+       << " W=" << baseAddr[2] << "\n";
+    unsigned depth = 0;
+    for (const auto &inst : instructions) {
+        unsigned indent = depth;
+        if (inst.op == Opcode::Setup || inst.op == Opcode::BlockEnd ||
+            inst.op == Opcode::GenAddr) {
+            indent = 0;
+        } else if (inst.op != Opcode::Loop) {
+            indent = inst.id;
+        }
+        os << std::string(2 * indent, ' ') << inst.toString() << "\n";
+        if (inst.op == Opcode::Loop)
+            ++depth;
+    }
+    return os.str();
+}
+
+} // namespace bitfusion

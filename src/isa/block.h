@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Instruction blocks: the unit of Fusion-ISA programs.
+ *
+ * A block implements one DNN layer (or a group of fused layers). The
+ * fusion configuration is fixed across the block (set by setup); the
+ * words following setup carry the memory base addresses for the three
+ * scratchpads (paper §IV-A).
+ */
+
+#ifndef BITFUSION_ISA_BLOCK_H
+#define BITFUSION_ISA_BLOCK_H
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/arch/fusion_config.h"
+#include "src/isa/instruction.h"
+
+namespace bitfusion {
+
+/** One block-structured Fusion-ISA program unit. */
+struct InstructionBlock
+{
+    /** Layer (or fused-layer-group) name, for reports. */
+    std::string name;
+    /** Fusion configuration the setup instruction encodes. */
+    FusionConfig config;
+    /**
+     * Memory base addresses (in elements) for IBUF, OBUF, WBUF
+     * fills/drains -- the "words after the setup instruction".
+     */
+    std::array<std::uint64_t, 3> baseAddr{0, 0, 0};
+    /** The instructions, setup first, block-end last. */
+    std::vector<Instruction> instructions;
+    /** Drain-path activation: requantization right shift. */
+    unsigned actShift = 0;
+    /** Drain-path activation: output bitwidth (0 = no clamp). */
+    unsigned actOutBits = 0;
+
+    /** Number of loop instructions (the nest depth). */
+    unsigned loopCount() const;
+
+    /** Iteration count of the loop at nest position @p idx. */
+    std::uint64_t loopIterations(unsigned idx) const;
+
+    /** Total dynamic iterations of the innermost level. */
+    std::uint64_t innermostIterations() const;
+
+    /**
+     * Validate the block structure: setup first, block-end last,
+     * loop ids unique, body levels within the nest depth. Fatal on
+     * violation (these blocks come from the compiler; a malformed
+     * block is a compiler bug surfaced to the user).
+     */
+    void validate() const;
+
+    /** Encode all instructions into 32-bit words. */
+    std::vector<std::uint32_t> encodeWords() const;
+
+    /** Decode a word stream back into instructions. */
+    static std::vector<Instruction>
+    decodeWords(const std::vector<std::uint32_t> &words);
+
+    /** Multi-line disassembly with nest indentation. */
+    std::string disassemble() const;
+};
+
+} // namespace bitfusion
+
+#endif // BITFUSION_ISA_BLOCK_H

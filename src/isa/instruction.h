@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Fusion-ISA instruction definitions (paper Table I).
+ *
+ * Instructions are 32 bits: a 5-bit opcode, a 6-bit identifier field
+ * (loop id for loop/gen-addr, loop level for body instructions), a
+ * 5-bit operand-specification field (scratchpad id, compute fn,
+ * signedness flags, post flag), and a 16-bit immediate (iteration
+ * counts, strides, word counts, bitwidths).
+ *
+ * Blocks are structured (paper §IV-A): a block opens with setup,
+ * closes with block-end, and contains a single loop nest. Non-loop
+ * instructions carry the loop *level* they execute at; an instruction
+ * at level v runs once per iteration combination of loops 0..v-1,
+ * either before the deeper loops start (pre) or after they finish
+ * (post). This realizes the iterative block semantics the paper uses
+ * to amortize fetch/decode over a whole layer.
+ */
+
+#ifndef BITFUSION_ISA_INSTRUCTION_H
+#define BITFUSION_ISA_INSTRUCTION_H
+
+#include <cstdint>
+#include <string>
+
+namespace bitfusion {
+
+/** Fusion-ISA opcodes (paper Table I). */
+enum class Opcode : std::uint8_t
+{
+    Setup = 0,   ///< Configure fusion bitwidths for the block.
+    Loop = 1,    ///< Declare a loop (id, iteration count).
+    GenAddr = 2, ///< Bind an address stride to (buffer, space, loop).
+    LdMem = 3,   ///< DRAM -> scratchpad transfer.
+    StMem = 4,   ///< Scratchpad -> DRAM transfer.
+    RdBuf = 5,   ///< Scratchpad -> operand register.
+    WrBuf = 6,   ///< Operand register -> scratchpad.
+    Compute = 7, ///< Execute the configured function.
+    SetRows = 8, ///< Row count for the next 2-D ld-mem/st-mem.
+    BlockEnd = 9 ///< End of block; immediate = next block id.
+};
+
+/** On-chip scratchpad buffers (paper Fig. 3). */
+enum class BufferId : std::uint8_t
+{
+    Ibuf = 0, ///< Input buffer (shared across a row).
+    Obuf = 1, ///< Output buffer (below column accumulators).
+    Wbuf = 2, ///< Weight buffer (per Fusion Unit).
+};
+
+/** Address spaces a gen-addr stride can apply to. */
+enum class AddrSpace : std::uint8_t
+{
+    Mem = 0,       ///< Off-chip memory side (ld-mem / st-mem).
+    BufAccess = 1, ///< Scratchpad-local side of rd-buf / wr-buf.
+    BufFill = 2,   ///< Scratchpad-local side of ld-mem / st-mem.
+};
+
+/** Compute functions (paper: multiply-add, max, nonlinearities). */
+enum class ComputeFn : std::uint8_t
+{
+    Mac = 0,       ///< out += in * weight (systolic array).
+    Max = 1,       ///< out = max(out, in) (pooling unit).
+    ReluQuant = 2, ///< out = clamp(relu(in) >> shift) (activation).
+    Reset = 3,     ///< out = -inf (pooling-window initialization).
+};
+
+/** Special gen-addr identifiers (not real loops). */
+namespace addr_id {
+/** DMA row counter of a 2-D ld-mem/st-mem. */
+constexpr unsigned dmaRow = 59;
+} // namespace addr_id
+
+/** Bitwidth encoding used by setup immediates: 1,2,4,8,16 -> 0..4. */
+unsigned encodeBits(unsigned bits);
+/** Inverse of encodeBits(). */
+unsigned decodeBits(unsigned code);
+
+/** A decoded Fusion-ISA instruction. */
+struct Instruction
+{
+    Opcode op = Opcode::Setup;
+    /** Loop id (loop/gen-addr) or loop level (body instructions). */
+    std::uint8_t id = 0;
+    /** Operand specification (meaning depends on opcode). */
+    std::uint8_t spec = 0;
+    /** Immediate. */
+    std::uint16_t imm = 0;
+    /**
+     * Extended immediate (strides/word counts that exceed 16 bits).
+     * Carried as an extension word in the binary encoding; zero for
+     * instructions whose immediate fits.
+     */
+    std::uint32_t immHi = 0;
+
+    /** Full immediate value: (immHi << 16) | imm. */
+    std::uint64_t
+    fullImm() const
+    {
+        return (static_cast<std::uint64_t>(immHi) << 16) | imm;
+    }
+
+    /** The post flag of body instructions (spec bit 4). */
+    bool isPost() const { return (spec >> 4) & 1; }
+
+    /** Buffer targeted by memory/buffer instructions (spec[1:0]). */
+    BufferId buffer() const;
+
+    /** Compute function of a compute instruction (spec[2:0]). */
+    ComputeFn fn() const;
+
+    /** Address space of a gen-addr instruction (spec bit 2). */
+    AddrSpace space() const;
+
+    /** Human-readable disassembly. */
+    std::string toString() const;
+
+    // --- Construction helpers (used by the code generator) -------
+
+    static Instruction setup(unsigned a_bits, unsigned w_bits,
+                             bool a_signed, bool w_signed);
+    static Instruction loop(unsigned loop_id, std::uint64_t iterations);
+    static Instruction genAddr(BufferId buf, AddrSpace space,
+                               unsigned loop_id, std::uint64_t stride);
+    static Instruction ldMem(BufferId buf, unsigned level,
+                             std::uint64_t words, bool post = false);
+    static Instruction stMem(BufferId buf, unsigned level,
+                             std::uint64_t words, bool post = false,
+                             bool activate = false);
+
+    /** Drain-path activation flag of st-mem (spec bit 2). */
+    bool isActivate() const { return (spec >> 2) & 1; }
+    static Instruction rdBuf(BufferId buf, unsigned level,
+                             bool post = false);
+    static Instruction wrBuf(BufferId buf, unsigned level,
+                             bool post = false);
+    static Instruction compute(ComputeFn fn, unsigned level,
+                               unsigned imm = 0);
+    static Instruction setRows(unsigned level, std::uint64_t rows,
+                               bool post = false);
+    static Instruction blockEnd(unsigned next_block);
+};
+
+/**
+ * Encode to the 32-bit word stream. Instructions with a wide
+ * immediate occupy two words (the second is the raw immHi with the
+ * extension marker bit set in the first word's spec bit 3... see
+ * encode()). Returns the number of words written (1 or 2).
+ */
+unsigned encode(const Instruction &inst, std::uint32_t out[2]);
+
+/**
+ * Decode from a word stream; @p consumed reports how many words the
+ * instruction used.
+ */
+Instruction decode(const std::uint32_t *words, unsigned *consumed);
+
+} // namespace bitfusion
+
+#endif // BITFUSION_ISA_INSTRUCTION_H

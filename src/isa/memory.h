@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Flat element-granular memory model used by the functional
+ * interpreter. Regions are allocated per tensor; addresses in the
+ * Fusion-ISA address expressions (Eq. 4) index elements.
+ */
+
+#ifndef BITFUSION_ISA_MEMORY_H
+#define BITFUSION_ISA_MEMORY_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/logging.h"
+
+namespace bitfusion {
+
+/** Off-chip memory as seen by ld-mem / st-mem. */
+class MemoryModel
+{
+  public:
+    /** Allocate @p count zero-initialized elements; returns base. */
+    std::uint64_t
+    allocate(std::size_t count)
+    {
+        const std::uint64_t base = storage.size();
+        storage.resize(storage.size() + count, 0);
+        return base;
+    }
+
+    std::int64_t
+    read(std::uint64_t addr) const
+    {
+        BF_ASSERT(addr < storage.size(), "memory read out of range");
+        return storage[addr];
+    }
+
+    void
+    write(std::uint64_t addr, std::int64_t value)
+    {
+        BF_ASSERT(addr < storage.size(), "memory write out of range");
+        storage[addr] = value;
+    }
+
+    std::size_t size() const { return storage.size(); }
+
+  private:
+    std::vector<std::int64_t> storage;
+};
+
+} // namespace bitfusion
+
+#endif // BITFUSION_ISA_MEMORY_H

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * The Bit Fusion performance/energy simulator.
+ *
+ * Consumes compiled networks (Fusion-ISA blocks plus schedules) and
+ * produces per-layer cycle counts and buffer/DRAM access counts,
+ * mirroring the methodology of §V-A: compute timing from the
+ * systolic mapping, off-chip transfers double-buffered against
+ * compute and bounded by the configured bits/cycle.
+ */
+
+#ifndef BITFUSION_SIM_SIMULATOR_H
+#define BITFUSION_SIM_SIMULATOR_H
+
+#include "src/compiler/schedule.h"
+#include "src/core/stats.h"
+#include "src/sim/config.h"
+#include "src/sim/systolic.h"
+
+namespace bitfusion {
+
+/** Cycle-level simulator for the Bit Fusion accelerator. */
+class Simulator
+{
+  public:
+    explicit Simulator(const AcceleratorConfig &cfg);
+
+    /** Simulate a compiled network for one batch. */
+    RunStats run(const CompiledNetwork &net) const;
+
+    /** Simulate a single schedule (exposed for unit tests). */
+    LayerStats runSchedule(const LayerSchedule &sched) const;
+
+    const AcceleratorConfig &config() const { return cfg; }
+
+  private:
+    LayerStats runMacLayer(const LayerSchedule &sched) const;
+    LayerStats runAuxLayer(const LayerSchedule &sched) const;
+
+    AcceleratorConfig cfg;
+    SystolicArray array;
+};
+
+} // namespace bitfusion
+
+#endif // BITFUSION_SIM_SIMULATOR_H

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Timing model of the Bit Fusion systolic array.
+ *
+ * The array is rows x cols Fusion Units. A layer's GEMM (M outputs,
+ * K reduction, N streamed positions) maps as: reduction across the
+ * rows (partial sums flow down columns, Fig. 3), outputs across the
+ * columns times the per-unit Fused-PE count (each Fused-PE in a unit
+ * holds a different output's weight and shares the row's input,
+ * Fig. 4). Streaming N positions takes one cycle each per
+ * (m-pass, k-pass) times the temporal factor of 16-bit operands.
+ */
+
+#ifndef BITFUSION_SIM_SYSTOLIC_H
+#define BITFUSION_SIM_SYSTOLIC_H
+
+#include <cstdint>
+
+#include "src/arch/fusion_config.h"
+#include "src/sim/config.h"
+
+namespace bitfusion {
+
+/** Cycle/utilization results of mapping one GEMM onto the array. */
+struct SystolicTiming
+{
+    /** Output passes: ceil(M / (cols * fusedPEs)). */
+    std::uint64_t mPasses = 0;
+    /** Reduction passes: ceil(K / rows). */
+    std::uint64_t kPasses = 0;
+    /** Temporal passes per product (16-bit support). */
+    unsigned temporal = 1;
+    /** Pipeline fill/drain cycles charged. */
+    std::uint64_t fillCycles = 0;
+    /** Total busy cycles. */
+    std::uint64_t cycles = 0;
+    /** Fraction of peak MAC slots doing useful work. */
+    double utilization = 0.0;
+};
+
+/** Maps GEMMs onto the configured array. */
+class SystolicArray
+{
+  public:
+    explicit SystolicArray(const AcceleratorConfig &cfg) : cfg(cfg) {}
+
+    /**
+     * Time a GEMM of (m, k, n_total) at the given fusion config,
+     * streamed in tiles of @p nt positions.
+     */
+    SystolicTiming map(std::uint64_t m, std::uint64_t k,
+                       std::uint64_t n_total, std::uint64_t nt,
+                       const FusionConfig &bits) const;
+
+    /** Peak MACs per cycle at a fusion configuration. */
+    std::uint64_t peakMacsPerCycle(const FusionConfig &bits) const;
+
+  private:
+    const AcceleratorConfig &cfg;
+};
+
+} // namespace bitfusion
+
+#endif // BITFUSION_SIM_SYSTOLIC_H

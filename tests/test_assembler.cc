@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Assembler tests: every mnemonic parses, parse(disassemble(x)) == x
+ * across compiler-emitted blocks, and malformed input fails loudly.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/compiler/codegen.h"
+#include "src/dnn/model_zoo.h"
+#include "src/isa/assembler.h"
+#include "src/isa/interpreter.h"
+#include "src/isa/memory.h"
+
+namespace bitfusion {
+namespace {
+
+void
+expectSame(const Instruction &a, const Instruction &b)
+{
+    EXPECT_EQ(a.op, b.op) << b.toString();
+    EXPECT_EQ(a.id, b.id) << b.toString();
+    EXPECT_EQ(a.spec, b.spec) << b.toString();
+    EXPECT_EQ(a.fullImm(), b.fullImm()) << b.toString();
+}
+
+TEST(Assembler, ParsesEveryMnemonic)
+{
+    const Instruction cases[] = {
+        Instruction::setup(4, 1, false, false),
+        Instruction::setup(16, 16, true, true),
+        Instruction::loop(5, 1234),
+        Instruction::genAddr(BufferId::Ibuf, AddrSpace::BufAccess, 3, 7),
+        Instruction::genAddr(BufferId::Wbuf, AddrSpace::Mem, 1,
+                             1 << 20),
+        Instruction::genAddr(BufferId::Obuf, AddrSpace::BufFill, 2, 64),
+        Instruction::ldMem(BufferId::Ibuf, 0, 4096),
+        Instruction::stMem(BufferId::Obuf, 1, 64, true, true),
+        Instruction::stMem(BufferId::Obuf, 2, 32, false, false),
+        Instruction::rdBuf(BufferId::Wbuf, 4),
+        Instruction::wrBuf(BufferId::Obuf, 3, true),
+        Instruction::compute(ComputeFn::Mac, 8),
+        Instruction::compute(ComputeFn::Max, 5),
+        Instruction::compute(ComputeFn::Reset, 3),
+        Instruction::compute(ComputeFn::ReluQuant, 1, (8 << 8) | 3),
+        Instruction::setRows(2, 16),
+        Instruction::blockEnd(9),
+    };
+    for (const auto &inst : cases) {
+        const Instruction back = Assembler::parseLine(inst.toString());
+        expectSame(inst, back);
+    }
+}
+
+TEST(Assembler, RoundTripsCompilerOutput)
+{
+    const Compiler compiler(AcceleratorConfig::eyerissMatched45());
+    for (const auto &b : zoo::all()) {
+        const CompiledNetwork cn = compiler.compile(b.quantized);
+        for (const auto &s : cn.schedules) {
+            const auto back =
+                Assembler::parse(s.block.disassemble());
+            ASSERT_EQ(back.size(), s.block.instructions.size())
+                << b.name << "/" << s.layer.name;
+            for (std::size_t i = 0; i < back.size(); ++i)
+                expectSame(s.block.instructions[i], back[i]);
+        }
+    }
+}
+
+TEST(Assembler, IgnoresCommentsAndBlankLines)
+{
+    const auto prog = Assembler::parse(
+        "; a comment line\n"
+        "\n"
+        "   setup a4u w2s  ; trailing comment\n"
+        "loop id=0 iters=10\n");
+    ASSERT_EQ(prog.size(), 2u);
+    EXPECT_EQ(prog[0].op, Opcode::Setup);
+    EXPECT_EQ(prog[1].op, Opcode::Loop);
+    EXPECT_EQ(prog[1].fullImm(), 10u);
+}
+
+TEST(Assembler, ParsesIndentedBlocks)
+{
+    const auto prog = Assembler::parse(
+        "setup a2u w2s\n"
+        "loop id=0 iters=4\n"
+        "  loop id=1 iters=2\n"
+        "    compute mac @L2\n"
+        "block-end next=0\n");
+    ASSERT_EQ(prog.size(), 5u);
+    EXPECT_EQ(prog[3].op, Opcode::Compute);
+    EXPECT_EQ(prog[3].id, 2);
+}
+
+TEST(AssemblerDeath, RejectsMalformedInput)
+{
+    EXPECT_DEATH(Assembler::parseLine("frobnicate x=1"), "unknown opcode");
+    EXPECT_DEATH(Assembler::parseLine("loop id=1"), "loop needs");
+    EXPECT_DEATH(Assembler::parseLine("setup a4x w2s"), "suffix");
+    EXPECT_DEATH(Assembler::parseLine("ld-mem XBUF words=4 @L0"),
+                 "unknown buffer");
+    EXPECT_DEATH(Assembler::parseLine("gen-addr IBUF.zap loop=0 stride=1"),
+                 "address space");
+    EXPECT_DEATH(Assembler::parseLine("compute mac @L2/post"),
+                 "no post form");
+    EXPECT_DEATH(Assembler::parseLine("ld-mem IBUF words=4 @L0 +act"),
+                 "unexpected trailing");
+}
+
+TEST(Assembler, HandwrittenBlockExecutes)
+{
+    // A complete hand-written FC block (4 inputs, 2 outputs) straight
+    // from assembly text to functional execution.
+    const std::string text =
+        "setup a8u w8s\n"
+        "loop id=0 iters=2\n"   // oc
+        "loop id=1 iters=4\n"   // ic
+        "gen-addr IBUF.buf loop=1 stride=1\n"
+        "gen-addr WBUF.buf loop=0 stride=4\n"
+        "gen-addr WBUF.buf loop=1 stride=1\n"
+        "gen-addr OBUF.buf loop=0 stride=1\n"
+        "ld-mem IBUF words=4 @L0\n"
+        "ld-mem WBUF words=8 @L0\n"
+        "ld-mem OBUF words=2 @L0\n"
+        "rd-buf OBUF @L1\n"
+        "rd-buf IBUF @L2\n"
+        "rd-buf WBUF @L2\n"
+        "compute mac @L2\n"
+        "wr-buf OBUF @L1/post\n"
+        "st-mem OBUF words=2 @L0/post\n"
+        "block-end next=0\n";
+
+    InstructionBlock block;
+    block.name = "hand-written";
+    block.config = FusionConfig{8, 8, false, true};
+    block.instructions = Assembler::parse(text);
+    block.validate();
+
+    MemoryModel mem;
+    block.baseAddr[0] = mem.allocate(4); // inputs
+    block.baseAddr[1] = mem.allocate(2); // outputs
+    block.baseAddr[2] = mem.allocate(8); // weights
+    const std::int64_t in[4] = {1, 2, 3, 4};
+    const std::int64_t w[8] = {1, 0, -1, 2, 5, 5, 5, 5};
+    for (int i = 0; i < 4; ++i)
+        mem.write(block.baseAddr[0] + i, in[i]);
+    for (int i = 0; i < 8; ++i)
+        mem.write(block.baseAddr[2] + i, w[i]);
+
+    Interpreter interp(mem);
+    interp.run(block);
+    EXPECT_EQ(mem.read(block.baseAddr[1] + 0), 1 + 0 - 3 + 8);
+    EXPECT_EQ(mem.read(block.baseAddr[1] + 1), 5 * (1 + 2 + 3 + 4));
+}
+
+} // namespace
+} // namespace bitfusion

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * BitBrick unit tests: exhaustive over the full 2-bit x 2-bit x
+ * sign x sign input space, checking the behavioural decode/multiply
+ * and the gate-level HA/FA model against plain integer arithmetic.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/arch/bitbrick.h"
+
+namespace bitfusion {
+namespace {
+
+TEST(BitBrick, DecodeUnsignedRange)
+{
+    EXPECT_EQ(BitBrick::decode(0, false), 0);
+    EXPECT_EQ(BitBrick::decode(1, false), 1);
+    EXPECT_EQ(BitBrick::decode(2, false), 2);
+    EXPECT_EQ(BitBrick::decode(3, false), 3);
+}
+
+TEST(BitBrick, DecodeSignedRange)
+{
+    EXPECT_EQ(BitBrick::decode(0, true), 0);
+    EXPECT_EQ(BitBrick::decode(1, true), 1);
+    EXPECT_EQ(BitBrick::decode(2, true), -2);
+    EXPECT_EQ(BitBrick::decode(3, true), -1);
+}
+
+TEST(BitBrick, DecodeIgnoresHighBits)
+{
+    EXPECT_EQ(BitBrick::decode(0xf7, false), 3);
+    EXPECT_EQ(BitBrick::decode(0xf6, true), -2);
+}
+
+/** (x, y, sx, sy) packed into one int for the exhaustive sweep. */
+class BitBrickExhaustive : public ::testing::TestWithParam<int>
+{
+  protected:
+    std::uint8_t x() const { return GetParam() & 0x3; }
+    std::uint8_t y() const { return (GetParam() >> 2) & 0x3; }
+    bool sx() const { return (GetParam() >> 4) & 1; }
+    bool sy() const { return (GetParam() >> 5) & 1; }
+};
+
+TEST_P(BitBrickExhaustive, BehaviouralMatchesIntegerMultiply)
+{
+    const int expect =
+        BitBrick::decode(x(), sx()) * BitBrick::decode(y(), sy());
+    EXPECT_EQ(BitBrick::multiply(x(), y(), sx(), sy()), expect);
+}
+
+TEST_P(BitBrickExhaustive, GateLevelMatchesBehavioural)
+{
+    EXPECT_EQ(BitBrick::multiplyGateLevel(x(), y(), sx(), sy()),
+              BitBrick::multiply(x(), y(), sx(), sy()));
+}
+
+TEST_P(BitBrickExhaustive, ProductFitsSixBits)
+{
+    const int p = BitBrick::multiply(x(), y(), sx(), sy());
+    EXPECT_GE(p, -32);
+    EXPECT_LE(p, 31);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOperands, BitBrickExhaustive,
+                         ::testing::Range(0, 64));
+
+TEST(BitBrick, EvaluateAppliesShift)
+{
+    const BitBrickOp op{3, 3, false, false, 4};
+    EXPECT_EQ(BitBrick::evaluate(op), 9 << 4);
+}
+
+TEST(BitBrick, EvaluateShiftOfNegativeProduct)
+{
+    const BitBrickOp op{2, 3, true, false, 2}; // -2 * 3 = -6
+    EXPECT_EQ(BitBrick::evaluate(op), -24);
+}
+
+} // namespace
+} // namespace bitfusion

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Unit tests for the common substrate: bit utilities, the
+ * deterministic PRNG, and the table/geomean helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/common/bitutils.h"
+#include "src/common/prng.h"
+#include "src/common/table.h"
+
+namespace bitfusion {
+namespace {
+
+TEST(BitUtils, DivCeil)
+{
+    EXPECT_EQ(divCeil(0, 4), 0u);
+    EXPECT_EQ(divCeil(1, 4), 1u);
+    EXPECT_EQ(divCeil(4, 4), 1u);
+    EXPECT_EQ(divCeil(5, 4), 2u);
+    EXPECT_EQ(divCeil(1ULL << 40, 3), ((1ULL << 40) + 2) / 3);
+}
+
+TEST(BitUtils, LowMask)
+{
+    EXPECT_EQ(lowMask(0), 0u);
+    EXPECT_EQ(lowMask(1), 1u);
+    EXPECT_EQ(lowMask(8), 0xffu);
+    EXPECT_EQ(lowMask(64), ~0ULL);
+}
+
+TEST(BitUtils, SignExtend)
+{
+    EXPECT_EQ(signExtend(0x3, 2), -1);
+    EXPECT_EQ(signExtend(0x2, 2), -2);
+    EXPECT_EQ(signExtend(0x1, 2), 1);
+    EXPECT_EQ(signExtend(0x80, 8), -128);
+    EXPECT_EQ(signExtend(0x7f, 8), 127);
+    EXPECT_EQ(signExtend(0xffff, 16), -1);
+}
+
+TEST(BitUtils, PowerOfTwo)
+{
+    EXPECT_TRUE(isPowerOfTwo(1));
+    EXPECT_TRUE(isPowerOfTwo(16));
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_FALSE(isPowerOfTwo(12));
+    EXPECT_EQ(log2Exact(1), 0u);
+    EXPECT_EQ(log2Exact(16), 4u);
+}
+
+TEST(BitUtils, BitBrickLanes)
+{
+    EXPECT_EQ(bitBrickLanes(1), 1u);
+    EXPECT_EQ(bitBrickLanes(2), 1u);
+    EXPECT_EQ(bitBrickLanes(4), 2u);
+    EXPECT_EQ(bitBrickLanes(8), 4u);
+    EXPECT_EQ(bitBrickLanes(16), 8u);
+}
+
+TEST(BitUtils, SignedRanges)
+{
+    EXPECT_EQ(signedMin(2), -2);
+    EXPECT_EQ(signedMax(2), 1);
+    EXPECT_EQ(signedMin(8), -128);
+    EXPECT_EQ(signedMax(8), 127);
+    EXPECT_EQ(unsignedMax(8), 255);
+}
+
+TEST(BitUtils, Clamping)
+{
+    EXPECT_EQ(clampSigned(200, 8), 127);
+    EXPECT_EQ(clampSigned(-200, 8), -128);
+    EXPECT_EQ(clampSigned(5, 8), 5);
+    EXPECT_EQ(clampUnsigned(-3, 8), 0);
+    EXPECT_EQ(clampUnsigned(300, 8), 255);
+    EXPECT_EQ(clampUnsigned(42, 8), 42);
+}
+
+TEST(Prng, Deterministic)
+{
+    Prng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Prng, DifferentSeedsDiffer)
+{
+    Prng a(1), b(2);
+    bool any_diff = false;
+    for (int i = 0; i < 16; ++i)
+        any_diff |= a.next() != b.next();
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(Prng, RangesRespected)
+{
+    Prng p(7);
+    for (int i = 0; i < 1000; ++i) {
+        const auto u = p.nextUnsigned(4);
+        EXPECT_GE(u, 0);
+        EXPECT_LE(u, 15);
+        const auto s = p.nextSigned(4);
+        EXPECT_GE(s, -8);
+        EXPECT_LE(s, 7);
+        const double d = p.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+        EXPECT_LT(p.below(10), 10u);
+    }
+}
+
+TEST(Prng, CoversFullRange)
+{
+    Prng p(11);
+    bool seen[16] = {};
+    for (int i = 0; i < 1000; ++i)
+        seen[p.nextUnsigned(4)] = true;
+    for (int v = 0; v < 16; ++v)
+        EXPECT_TRUE(seen[v]) << "value " << v << " never generated";
+}
+
+TEST(Table, Geomean)
+{
+    EXPECT_DOUBLE_EQ(geomean({4.0}), 4.0);
+    EXPECT_DOUBLE_EQ(geomean({1.0, 4.0}), 2.0);
+    EXPECT_NEAR(geomean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+}
+
+TEST(Table, RendersAlignedRows)
+{
+    TextTable t({"A", "LongHeader"});
+    t.addRow({"x", "1"});
+    t.addRow({"yyyy", "2"});
+    const std::string s = t.render();
+    EXPECT_NE(s.find("A"), std::string::npos);
+    EXPECT_NE(s.find("LongHeader"), std::string::npos);
+    EXPECT_NE(s.find("yyyy"), std::string::npos);
+    // Header, separator, two rows.
+    EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 4);
+}
+
+TEST(Table, NumberFormatting)
+{
+    EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+    EXPECT_EQ(TextTable::times(2.5, 1), "2.5x");
+}
+
+TEST(TableDeath, RowWidthMismatchPanics)
+{
+    TextTable t({"A", "B"});
+    EXPECT_DEATH(t.addRow({"only-one"}), "row width");
+}
+
+} // namespace
+} // namespace bitfusion

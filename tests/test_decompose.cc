@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Property tests for the multiply decomposition (Eqs. 1-3): for
+ * every supported bitwidth/sign combination, the sum of shifted
+ * BitBrick products must equal the plain integer product. Low
+ * widths are swept exhaustively, high widths randomly.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "src/arch/decompose.h"
+#include "src/common/bitutils.h"
+#include "src/common/prng.h"
+
+namespace bitfusion {
+namespace {
+
+struct Case
+{
+    unsigned aBits, wBits;
+    bool aSigned, wSigned;
+};
+
+class DecomposeSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int>>
+{
+  protected:
+    FusionConfig
+    cfg() const
+    {
+        static const unsigned widths[] = {1, 2, 4, 8, 16};
+        const unsigned a = widths[std::get<0>(GetParam())];
+        const unsigned w = widths[std::get<1>(GetParam())];
+        const int signs = std::get<2>(GetParam());
+        FusionConfig c;
+        c.aBits = a;
+        c.wBits = w;
+        // Binary operands are unsigned by definition.
+        c.aSigned = (signs & 1) && a > 1;
+        c.wSigned = (signs & 2) && w > 1;
+        return c;
+    }
+};
+
+TEST_P(DecomposeSweep, RandomOperandsMatchIntegerProduct)
+{
+    const FusionConfig c = cfg();
+    Prng prng(0x5eed0000 + c.aBits * 64 + c.wBits * 4 +
+              (c.aSigned ? 2 : 0) + (c.wSigned ? 1 : 0));
+    for (int i = 0; i < 200; ++i) {
+        const std::int64_t a = c.aSigned ? prng.nextSigned(c.aBits)
+                                         : prng.nextUnsigned(c.aBits);
+        const std::int64_t w = c.wSigned ? prng.nextSigned(c.wBits)
+                                         : prng.nextUnsigned(c.wBits);
+        const auto ops = decomposeMultiply(a, w, c);
+        EXPECT_EQ(evaluateDecomposition(ops), a * w)
+            << c.toString() << " a=" << a << " w=" << w;
+    }
+}
+
+TEST_P(DecomposeSweep, OperandCountMatchesLaneProduct)
+{
+    const FusionConfig c = cfg();
+    const auto ops = decomposeMultiply(0, 0, c);
+    EXPECT_EQ(ops.size(), bitBrickLanes(c.aBits) * bitBrickLanes(c.wBits));
+}
+
+TEST_P(DecomposeSweep, ExtremeOperandsMatch)
+{
+    const FusionConfig c = cfg();
+    const std::int64_t a_lo = c.aSigned ? signedMin(c.aBits) : 0;
+    const std::int64_t a_hi =
+        c.aSigned ? signedMax(c.aBits) : unsignedMax(c.aBits);
+    const std::int64_t w_lo = c.wSigned ? signedMin(c.wBits) : 0;
+    const std::int64_t w_hi =
+        c.wSigned ? signedMax(c.wBits) : unsignedMax(c.wBits);
+    for (std::int64_t a : {a_lo, a_hi}) {
+        for (std::int64_t w : {w_lo, w_hi}) {
+            const auto ops = decomposeMultiply(a, w, c);
+            EXPECT_EQ(evaluateDecomposition(ops), a * w)
+                << c.toString() << " a=" << a << " w=" << w;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllConfigs, DecomposeSweep,
+                         ::testing::Combine(::testing::Range(0, 5),
+                                            ::testing::Range(0, 5),
+                                            ::testing::Range(0, 4)));
+
+TEST(Decompose, ExhaustiveFourByFourSigned)
+{
+    FusionConfig c{4, 4, true, true};
+    for (std::int64_t a = -8; a <= 7; ++a)
+        for (std::int64_t w = -8; w <= 7; ++w)
+            EXPECT_EQ(evaluateDecomposition(decomposeMultiply(a, w, c)),
+                      a * w)
+                << "a=" << a << " w=" << w;
+}
+
+TEST(Decompose, ExhaustiveFourByFourUnsigned)
+{
+    FusionConfig c{4, 4, false, false};
+    for (std::int64_t a = 0; a <= 15; ++a)
+        for (std::int64_t w = 0; w <= 15; ++w)
+            EXPECT_EQ(evaluateDecomposition(decomposeMultiply(a, w, c)),
+                      a * w);
+}
+
+TEST(Decompose, ExhaustiveEightByTwoMixed)
+{
+    FusionConfig c{8, 2, false, true};
+    for (std::int64_t a = 0; a <= 255; ++a)
+        for (std::int64_t w = -2; w <= 1; ++w)
+            EXPECT_EQ(evaluateDecomposition(decomposeMultiply(a, w, c)),
+                      a * w);
+}
+
+TEST(Decompose, PaperFigureSixExample)
+{
+    // 11 x 6 = 66 with 4-bit unsigned operands (paper Fig. 6).
+    FusionConfig c{4, 4, false, false};
+    const auto ops = decomposeMultiply(11, 6, c);
+    EXPECT_EQ(ops.size(), 4u);
+    EXPECT_EQ(evaluateDecomposition(ops), 66);
+}
+
+TEST(Decompose, PaperFigureSevenExample)
+{
+    // 15 x 1 + 10 x 2 = 35 with 4-bit x 2-bit operands (Fig. 7).
+    FusionConfig c{4, 2, false, false};
+    const auto a = decomposeMultiply(15, 1, c);
+    const auto b = decomposeMultiply(10, 2, c);
+    EXPECT_EQ(a.size() + b.size(), 4u);
+    EXPECT_EQ(evaluateDecomposition(a) + evaluateDecomposition(b), 35);
+}
+
+TEST(Decompose, RejectsUnrepresentableOperands)
+{
+    FusionConfig c{4, 4, false, true};
+    EXPECT_FALSE(representable(16, 4, false));
+    EXPECT_FALSE(representable(-1, 4, false));
+    EXPECT_FALSE(representable(8, 4, true));
+    EXPECT_TRUE(representable(-8, 4, true));
+    EXPECT_DEATH(decomposeMultiply(16, 0, c), "not representable");
+}
+
+} // namespace
+} // namespace bitfusion

@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Fusion-ISA tests: instruction construction, 32-bit encode/decode
+ * round trips (including wide-immediate extension words), block
+ * validation, and disassembly.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/compiler/codegen.h"
+#include "src/dnn/model_zoo.h"
+#include "src/isa/block.h"
+#include "src/isa/instruction.h"
+
+namespace bitfusion {
+namespace {
+
+TEST(Instruction, BitwidthCodes)
+{
+    EXPECT_EQ(encodeBits(1), 0u);
+    EXPECT_EQ(encodeBits(16), 4u);
+    for (unsigned b : {1u, 2u, 4u, 8u, 16u})
+        EXPECT_EQ(decodeBits(encodeBits(b)), b);
+}
+
+TEST(Instruction, SetupCarriesConfig)
+{
+    const Instruction i = Instruction::setup(4, 2, false, true);
+    EXPECT_EQ(i.op, Opcode::Setup);
+    EXPECT_EQ(decodeBits((i.imm >> 8) & 0xff), 4u);
+    EXPECT_EQ(decodeBits(i.imm & 0xff), 2u);
+    EXPECT_FALSE(i.spec & 1);
+    EXPECT_TRUE(i.spec & 2);
+}
+
+TEST(Instruction, FieldAccessors)
+{
+    const Instruction ld = Instruction::ldMem(BufferId::Wbuf, 2, 64);
+    EXPECT_EQ(ld.buffer(), BufferId::Wbuf);
+    EXPECT_EQ(ld.id, 2);
+    EXPECT_EQ(ld.fullImm(), 64u);
+    EXPECT_FALSE(ld.isPost());
+
+    const Instruction st =
+        Instruction::stMem(BufferId::Obuf, 1, 32, true, true);
+    EXPECT_TRUE(st.isPost());
+    EXPECT_TRUE(st.isActivate());
+
+    const Instruction ga = Instruction::genAddr(
+        BufferId::Ibuf, AddrSpace::BufAccess, 3, 7);
+    EXPECT_EQ(ga.space(), AddrSpace::BufAccess);
+    EXPECT_EQ(ga.buffer(), BufferId::Ibuf);
+
+    const Instruction cm = Instruction::compute(ComputeFn::Max, 5);
+    EXPECT_EQ(cm.fn(), ComputeFn::Max);
+}
+
+TEST(Instruction, EncodeDecodeRoundTripNarrow)
+{
+    const Instruction insts[] = {
+        Instruction::setup(8, 2, false, true),
+        Instruction::loop(3, 100),
+        Instruction::genAddr(BufferId::Wbuf, AddrSpace::Mem, 1, 128),
+        Instruction::genAddr(BufferId::Obuf, AddrSpace::BufFill, 2, 9),
+        Instruction::ldMem(BufferId::Ibuf, 0, 4096),
+        Instruction::stMem(BufferId::Obuf, 1, 16, true, true),
+        Instruction::rdBuf(BufferId::Wbuf, 4),
+        Instruction::wrBuf(BufferId::Obuf, 3, true),
+        Instruction::compute(ComputeFn::Mac, 4),
+        Instruction::setRows(2, 8),
+        Instruction::blockEnd(7),
+    };
+    for (const auto &inst : insts) {
+        std::uint32_t words[2];
+        const unsigned n = encode(inst, words);
+        EXPECT_EQ(n, 1u) << inst.toString();
+        unsigned consumed = 0;
+        const Instruction back = decode(words, &consumed);
+        EXPECT_EQ(consumed, 1u);
+        EXPECT_EQ(back.op, inst.op) << inst.toString();
+        EXPECT_EQ(back.id, inst.id) << inst.toString();
+        EXPECT_EQ(back.spec, inst.spec) << inst.toString();
+        EXPECT_EQ(back.imm, inst.imm) << inst.toString();
+    }
+}
+
+TEST(Instruction, EncodeDecodeRoundTripWide)
+{
+    // Strides and word counts beyond 16 bits use an extension word.
+    const Instruction insts[] = {
+        Instruction::loop(1, 1ULL << 20),
+        Instruction::genAddr(BufferId::Wbuf, AddrSpace::Mem, 2,
+                             151'000'000ULL),
+        Instruction::ldMem(BufferId::Ibuf, 0, 1ULL << 18),
+    };
+    for (const auto &inst : insts) {
+        std::uint32_t words[2];
+        const unsigned n = encode(inst, words);
+        EXPECT_EQ(n, 2u) << inst.toString();
+        unsigned consumed = 0;
+        const Instruction back = decode(words, &consumed);
+        EXPECT_EQ(consumed, 2u);
+        EXPECT_EQ(back.fullImm(), inst.fullImm()) << inst.toString();
+        EXPECT_EQ(back.op, inst.op);
+        EXPECT_EQ(back.spec, inst.spec) << inst.toString();
+    }
+}
+
+TEST(Instruction, ToStringIsInformative)
+{
+    EXPECT_NE(Instruction::setup(4, 2, false, true).toString().find("a4"),
+              std::string::npos);
+    EXPECT_NE(Instruction::ldMem(BufferId::Wbuf, 2, 64)
+                  .toString()
+                  .find("WBUF"),
+              std::string::npos);
+    EXPECT_NE(Instruction::compute(ComputeFn::Mac, 4)
+                  .toString()
+                  .find("mac"),
+              std::string::npos);
+    EXPECT_NE(Instruction::stMem(BufferId::Obuf, 1, 8, true, true)
+                  .toString()
+                  .find("+act"),
+              std::string::npos);
+}
+
+TEST(Block, EncodeWordsRoundTrip)
+{
+    const Compiler compiler(AcceleratorConfig::eyerissMatched45());
+    const Layer fc = Layer::fc("fc", 64, 32, zoo::cfg4x4());
+    const InstructionBlock b =
+        compiler.emitFc(fc, BlockBases{}, 16, 16);
+    const auto words = b.encodeWords();
+    const auto back = InstructionBlock::decodeWords(words);
+    ASSERT_EQ(back.size(), b.instructions.size());
+    for (std::size_t i = 0; i < back.size(); ++i) {
+        EXPECT_EQ(back[i].op, b.instructions[i].op);
+        EXPECT_EQ(back[i].fullImm(), b.instructions[i].fullImm());
+        EXPECT_EQ(back[i].id, b.instructions[i].id);
+        EXPECT_EQ(back[i].spec, b.instructions[i].spec);
+    }
+}
+
+TEST(Block, LoopAccounting)
+{
+    const Compiler compiler(AcceleratorConfig::eyerissMatched45());
+    const Layer fc = Layer::fc("fc", 64, 32, zoo::cfg4x4());
+    const InstructionBlock b =
+        compiler.emitFc(fc, BlockBases{}, 16, 16);
+    EXPECT_EQ(b.loopCount(), 4u);
+    // Product of loop extents covers every MAC exactly once.
+    EXPECT_EQ(b.innermostIterations(), 64ULL * 32);
+    EXPECT_EQ(b.loopIterations(0) * b.loopIterations(2), 32u);
+    EXPECT_EQ(b.loopIterations(1) * b.loopIterations(3), 64u);
+}
+
+TEST(BlockDeath, ValidationCatchesStructuralErrors)
+{
+    InstructionBlock b;
+    b.name = "bad";
+    EXPECT_DEATH(b.validate(), "empty");
+
+    b.instructions = {Instruction::loop(0, 4),
+                      Instruction::blockEnd(0)};
+    EXPECT_DEATH(b.validate(), "setup");
+
+    b.instructions = {Instruction::setup(4, 4, false, true),
+                      Instruction::loop(0, 4)};
+    EXPECT_DEATH(b.validate(), "block-end");
+
+    b.instructions = {Instruction::setup(4, 4, false, true),
+                      Instruction::loop(0, 4), Instruction::loop(0, 2),
+                      Instruction::blockEnd(0)};
+    EXPECT_DEATH(b.validate(), "duplicate");
+
+    b.instructions = {Instruction::setup(4, 4, false, true),
+                      Instruction::loop(0, 4),
+                      Instruction::compute(ComputeFn::Mac, 3),
+                      Instruction::blockEnd(0)};
+    EXPECT_DEATH(b.validate(), "level");
+}
+
+TEST(Block, DisassemblyMentionsEveryOpcode)
+{
+    const Compiler compiler(AcceleratorConfig::eyerissMatched45());
+    const Layer fc = Layer::fc("fc", 64, 32, zoo::cfg4x4());
+    const InstructionBlock b =
+        compiler.emitFc(fc, BlockBases{}, 16, 16);
+    const std::string d = b.disassemble();
+    for (const char *tok : {"setup", "loop", "gen-addr", "ld-mem",
+                            "st-mem", "rd-buf", "wr-buf", "compute",
+                            "block-end"})
+        EXPECT_NE(d.find(tok), std::string::npos) << tok;
+}
+
+TEST(Block, PaperInstructionBudget)
+{
+    // Paper §IV-A: blocks of 30-86 instructions cover LSTM, CNN,
+    // pooling and fully-connected layers.
+    const Compiler compiler(AcceleratorConfig::eyerissMatched45());
+    for (const auto &bench : zoo::all()) {
+        const CompiledNetwork cn = compiler.compile(bench.quantized);
+        for (const auto &s : cn.schedules) {
+            EXPECT_GE(s.block.instructions.size(), 8u) << s.layer.name;
+            EXPECT_LE(s.block.instructions.size(), 86u) << s.layer.name;
+        }
+    }
+}
+
+} // namespace
+} // namespace bitfusion

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Tests for the DNN substrate: layer op/footprint accounting, GEMM
+ * lowering, network aggregation, and bitwidth profiles.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/dnn/model_zoo.h"
+#include "src/dnn/network.h"
+
+namespace bitfusion {
+namespace {
+
+TEST(Layer, ConvShapeAndMacs)
+{
+    // AlexNet conv1: 3x227x227 -> 96x55x55, k11 s4.
+    const Layer l =
+        Layer::conv("c", 3, 227, 227, 96, 11, 4, 0, zoo::cfg8x8());
+    EXPECT_EQ(l.outH(), 55u);
+    EXPECT_EQ(l.outW(), 55u);
+    EXPECT_EQ(l.macsPerSample(), 96ULL * 55 * 55 * 3 * 11 * 11);
+    EXPECT_EQ(l.weightCount(), 96ULL * 3 * 11 * 11);
+    EXPECT_EQ(l.inputCount(), 3ULL * 227 * 227);
+    EXPECT_EQ(l.outputCount(), 96ULL * 55 * 55);
+}
+
+TEST(Layer, ConvWithPaddingAndGroups)
+{
+    // AlexNet conv2: 96x27x27 -> 256x27x27, k5 s1 p2, groups 2.
+    const Layer l =
+        Layer::conv("c", 96, 27, 27, 256, 5, 1, 2, zoo::cfg8x8(), 2);
+    EXPECT_EQ(l.outH(), 27u);
+    EXPECT_EQ(l.macsPerSample(), 256ULL * 27 * 27 * 48 * 25);
+    EXPECT_EQ(l.weightCount(), 256ULL * 48 * 25);
+}
+
+TEST(Layer, FcAccounting)
+{
+    const Layer l = Layer::fc("f", 4096, 1000, zoo::cfg8x8());
+    EXPECT_EQ(l.macsPerSample(), 4096ULL * 1000);
+    EXPECT_EQ(l.weightCount(), 4096ULL * 1000);
+    EXPECT_EQ(l.inputCount(), 4096u);
+    EXPECT_EQ(l.outputCount(), 1000u);
+    EXPECT_EQ(l.auxOpsPerSample(), 0u);
+}
+
+TEST(Layer, PoolAccounting)
+{
+    const Layer l = Layer::pool("p", 64, 28, 28, 2, 2);
+    EXPECT_EQ(l.outH(), 14u);
+    EXPECT_EQ(l.macsPerSample(), 0u);
+    EXPECT_EQ(l.auxOpsPerSample(), 64ULL * 14 * 14 * 4);
+    EXPECT_EQ(l.weightCount(), 0u);
+    EXPECT_FALSE(l.usesMacArray());
+}
+
+TEST(Layer, ActivationAccounting)
+{
+    const Layer l = Layer::activation("a", 64, 13, 13);
+    EXPECT_EQ(l.auxOpsPerSample(), 64ULL * 13 * 13);
+    EXPECT_EQ(l.outputCount(), l.inputCount());
+    EXPECT_FALSE(l.usesMacArray());
+}
+
+TEST(Layer, RnnAccounting)
+{
+    const Layer l = Layer::rnn("r", 512, 1024, zoo::cfg4x4());
+    EXPECT_EQ(l.macsPerSample(), (512ULL + 1024) * 1024);
+    EXPECT_EQ(l.weightCount(), (512ULL + 1024) * 1024);
+    EXPECT_EQ(l.inputCount(), 512u + 1024u);
+    EXPECT_EQ(l.outputCount(), 1024u);
+}
+
+TEST(Layer, LstmAccounting)
+{
+    const Layer l = Layer::lstm("l", 512, 512, zoo::cfg4x4());
+    EXPECT_EQ(l.macsPerSample(), 4ULL * 1024 * 512);
+    EXPECT_EQ(l.outputCount(), 1024u); // hidden + cell state
+    EXPECT_EQ(l.auxOpsPerSample(), 7ULL * 512);
+}
+
+TEST(Layer, GemmShapes)
+{
+    const Layer conv =
+        Layer::conv("c", 64, 16, 16, 128, 3, 1, 1, zoo::cfg2x2());
+    const auto g = conv.gemmShape();
+    EXPECT_EQ(g.m, 128u);
+    EXPECT_EQ(g.k, 64ULL * 9);
+    EXPECT_EQ(g.n, 256u);
+    // MAC conservation: m*k*n == macs.
+    EXPECT_EQ(g.m * g.k * g.n, conv.macsPerSample());
+
+    const Layer fc = Layer::fc("f", 256, 64, zoo::cfg2x2());
+    const auto gf = fc.gemmShape();
+    EXPECT_EQ(gf.m * gf.k * gf.n, fc.macsPerSample());
+
+    const Layer lstm = Layer::lstm("l", 100, 200, zoo::cfg4x4());
+    const auto gl = lstm.gemmShape();
+    EXPECT_EQ(gl.m * gl.k * gl.n, lstm.macsPerSample());
+}
+
+TEST(Layer, WeightBitsUseLayerBitwidth)
+{
+    Layer l = Layer::fc("f", 10, 10, zoo::cfg4x1());
+    EXPECT_EQ(l.weightBits(), 100u); // 1-bit weights
+    l.bits = zoo::cfg8x8();
+    EXPECT_EQ(l.weightBits(), 800u);
+}
+
+TEST(LayerDeath, KernelLargerThanInputPanics)
+{
+    const Layer l = Layer::conv("c", 3, 4, 4, 8, 7, 1, 0, zoo::cfg8x8());
+    EXPECT_DEATH(l.outH(), "kernel");
+}
+
+TEST(LayerDeath, GroupsMustDivideChannels)
+{
+    EXPECT_DEATH(
+        Layer::conv("c", 3, 8, 8, 8, 3, 1, 1, zoo::cfg8x8(), 2),
+        "groups");
+}
+
+TEST(Network, Aggregation)
+{
+    Network net("tiny", {});
+    net.add(Layer::conv("c1", 3, 8, 8, 4, 3, 1, 1, zoo::cfg8x8()));
+    net.add(Layer::activation("a1", 4, 8, 8));
+    net.add(Layer::fc("f1", 256, 10, zoo::cfg2x2()));
+    EXPECT_EQ(net.layers().size(), 3u);
+    EXPECT_EQ(net.totalMacs(),
+              net.layers()[0].macsPerSample() +
+                  net.layers()[2].macsPerSample());
+    EXPECT_EQ(net.totalAuxOps(), 4ULL * 8 * 8);
+    EXPECT_GT(net.macFraction(), 0.9);
+}
+
+TEST(Network, MacBitwidthProfileSumsToOne)
+{
+    for (const auto &b : zoo::all()) {
+        double total = 0.0;
+        for (const auto &[k, v] : b.quantized.macBitwidthProfile())
+            total += v;
+        EXPECT_NEAR(total, 1.0, 1e-9) << b.name;
+    }
+}
+
+TEST(Network, WeightBitwidthProfileSumsToOne)
+{
+    for (const auto &b : zoo::all()) {
+        double total = 0.0;
+        for (const auto &[k, v] : b.quantized.weightBitwidthProfile())
+            total += v;
+        EXPECT_NEAR(total, 1.0, 1e-9) << b.name;
+    }
+}
+
+} // namespace
+} // namespace bitfusion

@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Golden-model tests: hand-computed cases and algebraic properties
+ * of the fixed-point reference executor.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/common/prng.h"
+#include "src/dnn/model_zoo.h"
+#include "src/dnn/reference.h"
+
+namespace bitfusion {
+namespace {
+
+TEST(Tensor, ShapeAndIndexing)
+{
+    Tensor t(2, 3, 4);
+    EXPECT_EQ(t.size(), 24u);
+    t.at(1, 2, 3) = 42;
+    EXPECT_EQ(t.at(1, 2, 3), 42);
+    EXPECT_EQ(t[23], 42); // last element in CHW order
+}
+
+TEST(TensorDeath, OutOfRangePanics)
+{
+    Tensor t(2, 3, 4);
+    EXPECT_DEATH(t.at(2, 0, 0), "out of range");
+}
+
+TEST(Tensor, FillRandomRespectsBitwidth)
+{
+    Prng prng(5);
+    Tensor t(4, 4, 4);
+    t.fillRandom(prng, 4, true);
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        EXPECT_GE(t[i], -8);
+        EXPECT_LE(t[i], 7);
+    }
+}
+
+TEST(Reference, ConvIdentityKernel)
+{
+    // 1x1 kernel with weight 1 reproduces the input.
+    const Layer l = Layer::conv("c", 1, 3, 3, 1, 1, 1, 0, zoo::cfg8x8());
+    Tensor in(1, 3, 3);
+    for (std::size_t i = 0; i < in.size(); ++i)
+        in[i] = static_cast<std::int64_t>(i) + 1;
+    Tensor w(static_cast<std::size_t>(1));
+    w[0] = 1;
+    const Tensor out = Reference::conv(l, in, w);
+    for (std::size_t i = 0; i < in.size(); ++i)
+        EXPECT_EQ(out[i], in[i]);
+}
+
+TEST(Reference, ConvHandComputed)
+{
+    // 1 channel 3x3 input, 2x2 kernel of ones, stride 1, no pad:
+    // each output is the sum of a 2x2 window.
+    Layer l = Layer::conv("c", 1, 3, 3, 1, 2, 1, 0, zoo::cfg8x8());
+    Tensor in(1, 3, 3);
+    std::int64_t v = 1;
+    for (std::size_t i = 0; i < 9; ++i)
+        in[i] = v++;
+    Tensor w(static_cast<std::size_t>(4));
+    for (int i = 0; i < 4; ++i)
+        w[i] = 1;
+    const Tensor out = Reference::conv(l, in, w);
+    EXPECT_EQ(out.at(0, 0, 0), 1 + 2 + 4 + 5);
+    EXPECT_EQ(out.at(0, 0, 1), 2 + 3 + 5 + 6);
+    EXPECT_EQ(out.at(0, 1, 0), 4 + 5 + 7 + 8);
+    EXPECT_EQ(out.at(0, 1, 1), 5 + 6 + 8 + 9);
+}
+
+TEST(Reference, ConvPaddingContributesZero)
+{
+    // 1x1 input, 3x3 kernel, pad 1: only the center tap fires.
+    const Layer l = Layer::conv("c", 1, 1, 1, 1, 3, 1, 1, zoo::cfg8x8());
+    Tensor in(1, 1, 1);
+    in[0] = 7;
+    Tensor w(static_cast<std::size_t>(9));
+    for (int i = 0; i < 9; ++i)
+        w[i] = i + 1; // center tap (1,1) has weight 5
+    const Tensor out = Reference::conv(l, in, w);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0], 7 * 5);
+}
+
+TEST(Reference, ConvLinearity)
+{
+    // conv(2*x, w) == 2*conv(x, w).
+    const Layer l = Layer::conv("c", 2, 5, 5, 3, 3, 1, 1, zoo::cfg8x8());
+    Prng prng(77);
+    Tensor in(2, 5, 5);
+    in.fillRandom(prng, 6, false);
+    Tensor w(l.weightCount());
+    w.fillRandom(prng, 4, true);
+    Tensor in2 = in;
+    for (std::size_t i = 0; i < in2.size(); ++i)
+        in2[i] *= 2;
+    const Tensor a = Reference::conv(l, in, w);
+    const Tensor b = Reference::conv(l, in2, w);
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(b[i], 2 * a[i]);
+}
+
+TEST(Reference, GroupedConvEqualsPerGroupConv)
+{
+    // A 2-group conv equals two independent convs on channel halves.
+    const Layer g2 =
+        Layer::conv("c", 4, 5, 5, 6, 3, 1, 1, zoo::cfg8x8(), 2);
+    Prng prng(78);
+    Tensor in(4, 5, 5);
+    in.fillRandom(prng, 4, false);
+    Tensor w(g2.weightCount());
+    w.fillRandom(prng, 4, true);
+    const Tensor out = Reference::conv(g2, in, w);
+
+    const Layer half =
+        Layer::conv("h", 2, 5, 5, 3, 3, 1, 1, zoo::cfg8x8());
+    for (unsigned g = 0; g < 2; ++g) {
+        Tensor in_half(2, 5, 5);
+        for (unsigned c = 0; c < 2; ++c)
+            for (unsigned y = 0; y < 5; ++y)
+                for (unsigned x = 0; x < 5; ++x)
+                    in_half.at(c, y, x) = in.at(g * 2 + c, y, x);
+        Tensor w_half(half.weightCount());
+        for (std::size_t i = 0; i < w_half.size(); ++i)
+            w_half[i] = w[g * w_half.size() + i];
+        const Tensor out_half = Reference::conv(half, in_half, w_half);
+        for (unsigned oc = 0; oc < 3; ++oc)
+            for (unsigned y = 0; y < 5; ++y)
+                for (unsigned x = 0; x < 5; ++x)
+                    EXPECT_EQ(out.at(g * 3 + oc, y, x),
+                              out_half.at(oc, y, x));
+    }
+}
+
+TEST(Reference, FcHandComputed)
+{
+    const Layer l = Layer::fc("f", 3, 2, zoo::cfg8x8());
+    Tensor in(static_cast<std::size_t>(3));
+    in[0] = 1;
+    in[1] = 2;
+    in[2] = 3;
+    Tensor w(static_cast<std::size_t>(6));
+    // Row 0: [1, 0, -1]; row 1: [2, 2, 2].
+    w[0] = 1; w[1] = 0; w[2] = -1;
+    w[3] = 2; w[4] = 2; w[5] = 2;
+    const Tensor out = Reference::fullyConnected(l, in, w);
+    EXPECT_EQ(out[0], 1 - 3);
+    EXPECT_EQ(out[1], 12);
+}
+
+TEST(Reference, MaxPoolHandComputed)
+{
+    const Layer l = Layer::pool("p", 1, 4, 4, 2, 2);
+    Tensor in(1, 4, 4);
+    std::int64_t v = 0;
+    for (std::size_t i = 0; i < 16; ++i)
+        in[i] = v++;
+    const Tensor out = Reference::maxPool(l, in);
+    EXPECT_EQ(out.at(0, 0, 0), 5);
+    EXPECT_EQ(out.at(0, 0, 1), 7);
+    EXPECT_EQ(out.at(0, 1, 0), 13);
+    EXPECT_EQ(out.at(0, 1, 1), 15);
+}
+
+TEST(Reference, ReluClampsNegatives)
+{
+    Tensor t(static_cast<std::size_t>(4));
+    t[0] = -5;
+    t[1] = 0;
+    t[2] = 5;
+    t[3] = -1;
+    const Tensor r = Reference::relu(t);
+    EXPECT_EQ(r[0], 0);
+    EXPECT_EQ(r[1], 0);
+    EXPECT_EQ(r[2], 5);
+    EXPECT_EQ(r[3], 0);
+}
+
+TEST(Reference, RequantizeShiftsAndClamps)
+{
+    Tensor t(static_cast<std::size_t>(3));
+    t[0] = 1024;
+    t[1] = 100000;
+    t[2] = 3;
+    const Tensor q = Reference::requantize(t, 8, 4);
+    EXPECT_EQ(q[0], 64);
+    EXPECT_EQ(q[1], 255); // clamped
+    EXPECT_EQ(q[2], 0);
+}
+
+TEST(Reference, RnnCellHandComputed)
+{
+    const Layer l = Layer::rnn("r", 2, 2, zoo::cfg4x4());
+    Tensor x(static_cast<std::size_t>(2)), h(static_cast<std::size_t>(2));
+    x[0] = 1;
+    x[1] = 2;
+    h[0] = 3;
+    h[1] = 4;
+    // Wx = [[1,1],[0,-1]], Wh = [[2,0],[1,1]].
+    Tensor w(static_cast<std::size_t>(8));
+    w[0] = 1; w[1] = 1; w[2] = 0; w[3] = -1;
+    w[4] = 2; w[5] = 0; w[6] = 1; w[7] = 1;
+    const Tensor out = Reference::rnnCell(l, x, h, w);
+    // h'[0] = relu(1+2 + 6+0) = 9; h'[1] = relu(0-2 + 3+4) = 5.
+    EXPECT_EQ(out[0], 9);
+    EXPECT_EQ(out[1], 5);
+}
+
+TEST(Reference, RnnCellAppliesRelu)
+{
+    const Layer l = Layer::rnn("r", 1, 1, zoo::cfg4x4());
+    Tensor x(static_cast<std::size_t>(1)), h(static_cast<std::size_t>(1));
+    x[0] = 1;
+    h[0] = 0;
+    Tensor w(static_cast<std::size_t>(2));
+    w[0] = -5;
+    w[1] = 0;
+    EXPECT_EQ(Reference::rnnCell(l, x, h, w)[0], 0);
+}
+
+} // namespace
+} // namespace bitfusion
