@@ -1,141 +1,19 @@
 /**
  * @file
- * Ablation benches for the design choices DESIGN.md calls out:
- *
- *  1. Spatial vs temporal vs hybrid fusion: effective throughput per
- *     area of a Fusion Unit across operand bitwidths (the §III-C
- *     tradeoff that motivates the hybrid design).
- *  2. Code optimizations (§IV-B): off-chip traffic and performance
- *     with the loop-ordering and layer-fusion optimizations toggled.
- *  3. Bitwidth sensitivity: one network swept across uniform operand
- *     bitwidths, showing the near-quadratic compute scaling that
- *     motivates bit-level fusion.
+ * Runs the three DESIGN.md ablations via the figure registry
+ * (src/runner): fusion style, code optimizations, and the
+ * uniform-bitwidth sweep. Equivalent to `bitfusion_sweep --figure
+ * ablation-style --figure ablation-codeopt --figure
+ * ablation-bitwidth`; accepts --threads N and --json PATH (dumps
+ * land in PATH.<id>.json per ablation).
  */
 
-#include <cstdio>
-#include <vector>
-
-#include "src/arch/hw_model.h"
-#include "src/arch/temporal_unit.h"
-#include "src/common/table.h"
-#include "src/core/accelerator.h"
-#include "src/dnn/model_zoo.h"
-
-namespace {
-
-using namespace bitfusion;
-
-void
-fusionStyleAblation()
-{
-    std::printf("=== Ablation 1: spatial vs temporal vs hybrid fusion "
-                "(throughput per area) ===\n\n");
-    const double a_fu = HwModel::fusionUnit45().totalAreaUm2();
-    const double a_tmp = HwModel::temporalDesign45().totalAreaUm2();
-
-    TextTable t({"Config", "Hybrid MACs/cyc/unit", "Temporal",
-                 "Hybrid MACs/cyc/mm2", "Temporal", "Advantage"});
-    const FusionConfig configs[] = {
-        {1, 1, false, false}, {2, 2, false, true}, {4, 2, false, true},
-        {4, 4, false, true},  {8, 4, false, true}, {8, 8, false, true},
-        {16, 8, true, true},  {16, 16, true, true}};
-    for (const auto &c : configs) {
-        // Hybrid: spatial PEs with temporal passes for 16-bit.
-        const double hybrid =
-            static_cast<double>(c.fusedPEs(16)) / c.temporalPasses();
-        // Temporal: 16 serial units, each one product per
-        // lanes(a)*lanes(w) cycles.
-        const double temporal =
-            16.0 / TemporalUnit::cyclesPerProduct(c);
-        const double h_mm2 = hybrid / a_fu * 1e6;
-        const double t_mm2 = temporal / a_tmp * 1e6;
-        t.addRow({c.toString(), TextTable::num(hybrid, 2),
-                  TextTable::num(temporal, 2), TextTable::num(h_mm2, 0),
-                  TextTable::num(t_mm2, 0),
-                  TextTable::times(h_mm2 / t_mm2, 2)});
-    }
-    t.print();
-    std::printf("\n(same 2-bit multiplier count; the temporal design "
-                "pays for per-unit wide shifters/registers, Fig. 10)\n");
-}
-
-void
-codeOptAblation()
-{
-    std::printf("\n=== Ablation 2: code optimizations (loop ordering + "
-                "layer fusion) ===\n\n");
-    TextTable t({"Benchmark", "Optimized us", "NoLoopOrder",
-                 "NoLayerFusion", "Neither", "Opt gain"});
-    for (const auto &b : zoo::all()) {
-        auto run_with = [&](bool loop_order, bool fusion) {
-            AcceleratorConfig cfg = AcceleratorConfig::eyerissMatched45();
-            cfg.loopOrdering = loop_order;
-            cfg.layerFusion = fusion;
-            Accelerator acc(cfg);
-            return acc.run(b.quantized).secondsPerSample() * 1e6;
-        };
-        const double opt = run_with(true, true);
-        const double no_lo = run_with(false, true);
-        const double no_lf = run_with(true, false);
-        const double none = run_with(false, false);
-        t.addRow({b.name, TextTable::num(opt, 1),
-                  TextTable::times(no_lo / opt, 2),
-                  TextTable::times(no_lf / opt, 2),
-                  TextTable::times(none / opt, 2),
-                  TextTable::times(none / opt, 2)});
-    }
-    t.print();
-}
-
-void
-bitwidthSweep()
-{
-    std::printf("\n=== Ablation 3: uniform-bitwidth sweep (VGG-7 "
-                "topology) ===\n\n");
-    TextTable t({"Config", "us/sample", "Speedup vs 16b",
-                 "Energy uJ/sample", "Reduction vs 16b"});
-    double base_sec = 0.0, base_e = 0.0;
-    const unsigned widths[] = {16, 8, 4, 2, 1};
-    for (unsigned w : widths) {
-        FusionConfig c;
-        c.aBits = w;
-        c.wBits = w;
-        c.aSigned = false;
-        c.wSigned = w > 1;
-        auto bench = zoo::vgg7();
-        Network net = bench.quantized;
-        // Rebuild with one uniform config.
-        std::vector<Layer> layers = net.layers();
-        for (auto &l : layers)
-            l.bits = c;
-        Network uniform(net.name(), layers);
-
-        Accelerator acc(AcceleratorConfig::eyerissMatched45());
-        const RunStats rs = acc.run(uniform);
-        const double sec = rs.secondsPerSample();
-        const double e = rs.energyPerSampleJ();
-        if (w == 16) {
-            base_sec = sec;
-            base_e = e;
-        }
-        t.addRow({c.toString(), TextTable::num(sec * 1e6, 1),
-                  TextTable::times(base_sec / sec, 2),
-                  TextTable::num(e * 1e6, 1),
-                  TextTable::times(base_e / e, 2)});
-    }
-    t.print();
-    std::printf("\n(compute scales ~quadratically with operand width; "
-                "traffic scales linearly -- the core Bit Fusion "
-                "observation)\n");
-}
-
-} // namespace
+#include "src/runner/figures.h"
 
 int
-main()
+main(int argc, char **argv)
 {
-    fusionStyleAblation();
-    codeOptAblation();
-    bitwidthSweep();
-    return 0;
+    return bitfusion::figures::benchMain(
+        {"ablation-style", "ablation-codeopt", "ablation-bitwidth"},
+        argc, argv);
 }

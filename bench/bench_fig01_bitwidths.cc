@@ -1,81 +1,14 @@
 /**
  * @file
- * Reproduces paper Fig. 1: (a) the fraction of multiply-add
- * operations at each activation/weight bitwidth pair, (b) the weight
- * bitwidth distribution, and the %multiply-add table, for all eight
- * benchmarks.
+ * Reproduces paper Fig. 1 (bitwidth distributions) via the figure registry (src/runner).
+ * Equivalent to `bitfusion_sweep --figure fig1`; accepts
+ * --threads N, --json PATH.
  */
 
-#include <cstdio>
-#include <map>
-#include <set>
-
-#include "src/common/table.h"
-#include "src/dnn/model_zoo.h"
+#include "src/runner/figures.h"
 
 int
-main()
+main(int argc, char **argv)
 {
-    using namespace bitfusion;
-
-    const auto benches = zoo::all();
-
-    std::printf("=== Fig. 1(a): multiply-add bitwidth distribution "
-                "(input/weight) ===\n\n");
-    // Collect the union of config strings.
-    std::set<std::string> configs;
-    for (const auto &b : benches)
-        for (const auto &[k, v] : b.quantized.macBitwidthProfile())
-            configs.insert(k);
-
-    std::vector<std::string> headers = {"Config"};
-    for (const auto &b : benches)
-        headers.push_back(b.name);
-    TextTable macs(headers);
-    for (const auto &c : configs) {
-        std::vector<std::string> row = {c};
-        for (const auto &b : benches) {
-            const auto prof = b.quantized.macBitwidthProfile();
-            const auto it = prof.find(c);
-            row.push_back(TextTable::num(
-                it == prof.end() ? 0.0 : 100.0 * it->second, 1));
-        }
-        macs.addRow(row);
-    }
-    macs.print();
-
-    std::printf("\n=== Fig. 1(b): weight bitwidth distribution (%%) "
-                "===\n\n");
-    std::set<unsigned> wbits;
-    for (const auto &b : benches)
-        for (const auto &[k, v] : b.quantized.weightBitwidthProfile())
-            wbits.insert(k);
-    TextTable weights(headers);
-    for (unsigned wb : wbits) {
-        std::vector<std::string> row = {std::to_string(wb) + "-bit"};
-        for (const auto &b : benches) {
-            const auto prof = b.quantized.weightBitwidthProfile();
-            const auto it = prof.find(wb);
-            row.push_back(TextTable::num(
-                it == prof.end() ? 0.0 : 100.0 * it->second, 1));
-        }
-        weights.addRow(row);
-    }
-    weights.print();
-
-    std::printf("\n=== Fig. 1 table: %% of ops that are multiply-adds "
-                "===\n\n");
-    TextTable frac({"DNN", "% Multiply-Add", "(paper)"});
-    const double paper_frac[] = {99.8, 99.8, 99.9, 99.4,
-                                 99.9, 99.9, 99.8, 99.5};
-    for (std::size_t i = 0; i < benches.size(); ++i) {
-        frac.addRow({benches[i].name,
-                     TextTable::num(
-                         100.0 * benches[i].quantized.macFraction(), 2),
-                     TextTable::num(paper_frac[i], 1)});
-    }
-    frac.print();
-    std::printf("\npaper: on average 97.3%% of multiply-adds need four "
-                "or fewer bits; >99%% of all ops are multiply-adds\n");
-    return 0;
+    return bitfusion::figures::benchMain("fig1", argc, argv);
 }

@@ -1,79 +1,14 @@
 /**
  * @file
- * Reproduces paper Fig. 10: area and power of a 16-BitBrick Fusion
- * Unit (hybrid spatio-temporal fusion) versus the temporal design,
- * split into BitBricks / shift-add / register, with the reduction
- * factors. Also reports the derived Fusion-Unit count for the
- * 1.1 mm^2 Eyeriss-matched compute budget.
+ * Reproduces paper Fig. 10 (Fusion Unit area/power) via the figure registry (src/runner).
+ * Equivalent to `bitfusion_sweep --figure fig10`; accepts
+ * --threads N, --json PATH.
  */
 
-#include <cstdio>
-
-#include "src/arch/hw_model.h"
-#include "src/arch/spatial_fusion.h"
-#include "src/common/table.h"
+#include "src/runner/figures.h"
 
 int
-main()
+main(int argc, char **argv)
 {
-    using namespace bitfusion;
-
-    const UnitCost fu = HwModel::fusionUnit45();
-    const UnitCost tmp = HwModel::temporalDesign45();
-
-    std::printf("=== Fig. 10: Fusion Unit vs temporal design "
-                "(45 nm, 16 BitBricks) ===\n\n");
-
-    TextTable area({"Area (um^2)", "BitBricks", "Shift-Add", "Register",
-                    "Total"});
-    area.addRow({"Temporal", TextTable::num(tmp.bitBricksAreaUm2, 0),
-                 TextTable::num(tmp.shiftAddAreaUm2, 0),
-                 TextTable::num(tmp.registerAreaUm2, 0),
-                 TextTable::num(tmp.totalAreaUm2(), 0)});
-    area.addRow({"Fusion Unit", TextTable::num(fu.bitBricksAreaUm2, 0),
-                 TextTable::num(fu.shiftAddAreaUm2, 0),
-                 TextTable::num(fu.registerAreaUm2, 0),
-                 TextTable::num(fu.totalAreaUm2(), 0)});
-    area.addRow({"Reduction",
-                 TextTable::times(tmp.bitBricksAreaUm2 /
-                                  fu.bitBricksAreaUm2, 1),
-                 TextTable::times(tmp.shiftAddAreaUm2 /
-                                  fu.shiftAddAreaUm2, 1),
-                 TextTable::times(tmp.registerAreaUm2 /
-                                  fu.registerAreaUm2, 1),
-                 TextTable::times(tmp.totalAreaUm2() / fu.totalAreaUm2(),
-                                  1)});
-    area.print();
-
-    std::printf("\n");
-    TextTable power({"Power (nW)", "BitBricks", "Shift-Add", "Register",
-                     "Total"});
-    power.addRow({"Temporal", TextTable::num(tmp.bitBricksPowerNw, 0),
-                  TextTable::num(tmp.shiftAddPowerNw, 0),
-                  TextTable::num(tmp.registerPowerNw, 0),
-                  TextTable::num(tmp.totalPowerNw(), 0)});
-    power.addRow({"Fusion Unit", TextTable::num(fu.bitBricksPowerNw, 0),
-                  TextTable::num(fu.shiftAddPowerNw, 0),
-                  TextTable::num(fu.registerPowerNw, 0),
-                  TextTable::num(fu.totalPowerNw(), 0)});
-    power.addRow({"Reduction",
-                  TextTable::times(tmp.bitBricksPowerNw /
-                                   fu.bitBricksPowerNw, 1),
-                  TextTable::times(tmp.shiftAddPowerNw /
-                                   fu.shiftAddPowerNw, 1),
-                  TextTable::times(tmp.registerPowerNw /
-                                   fu.registerPowerNw, 1),
-                  TextTable::times(tmp.totalPowerNw() / fu.totalPowerNw(),
-                                   1)});
-    power.print();
-
-    const SpatialFusionTree tree(16);
-    std::printf("\nshift-add tree over 16 BitBricks: %u levels, "
-                "%u four-input adders, %u shift units\n",
-                tree.levels(), tree.adderCount(), tree.shifterCount());
-    std::printf("Fusion Units in the 1.1 mm^2 compute budget: %u\n",
-                HwModel::fusionUnitsForBudget(1.1));
-    std::printf("paper reference: 3.5x area and 3.2x power reduction; "
-                "512 Fusion Units per 1.1 mm^2 tile\n");
-    return 0;
+    return bitfusion::figures::benchMain("fig10", argc, argv);
 }

@@ -1,105 +1,14 @@
 /**
  * @file
- * Reproduces paper Fig. 13: Bit Fusion speedup and energy reduction
- * over Eyeriss across the eight benchmarks (area-matched 1.1 mm^2,
- * 45 nm, 500 MHz, batch 16), plus the per-layer AlexNet breakdown
- * quoted in §V-B1 (pass --per-layer).
- *
- * Paper reference (geomean): 3.9x speedup, 5.1x energy reduction.
+ * Reproduces paper Fig. 13 (improvement over Eyeriss) via the figure registry (src/runner).
+ * Equivalent to `bitfusion_sweep --figure fig13`; accepts
+ * --threads N, --json PATH, --per-layer.
  */
 
-#include <cstdio>
-#include <cstring>
-#include <string>
-#include <vector>
-
-#include "src/baselines/eyeriss.h"
-#include "src/common/table.h"
-#include "src/core/accelerator.h"
-#include "src/dnn/model_zoo.h"
-
-namespace {
-
-struct PaperRow
-{
-    double perf;
-    double energy;
-};
-
-// Fig. 13 per-benchmark values from the paper's data table.
-const PaperRow paperFig13[] = {
-    {1.9, 1.5},  // AlexNet
-    {13.0, 14.0}, // Cifar-10
-    {2.4, 4.8},  // LSTM
-    {2.7, 4.3},  // LeNet-5
-    {1.9, 1.9},  // ResNet-18
-    {2.7, 5.1},  // RNN
-    {8.6, 10.0}, // SVHN
-    {7.7, 9.9},  // VGG-7
-};
-
-} // namespace
+#include "src/runner/figures.h"
 
 int
 main(int argc, char **argv)
 {
-    using namespace bitfusion;
-    const bool per_layer =
-        argc > 1 && std::strcmp(argv[1], "--per-layer") == 0;
-
-    const AcceleratorConfig cfg = AcceleratorConfig::eyerissMatched45();
-    Accelerator acc(cfg);
-    EyerissModel eyeriss;
-
-    std::printf("=== Fig. 13: Bit Fusion improvement over Eyeriss "
-                "(45 nm, area-matched, batch %u) ===\n\n", cfg.batch);
-
-    TextTable table({"Benchmark", "Speedup", "(paper)", "EnergyRed",
-                     "(paper)"});
-    std::vector<double> speedups, energy_reds;
-    const auto benches = zoo::all();
-    for (std::size_t i = 0; i < benches.size(); ++i) {
-        const auto &b = benches[i];
-        const RunStats bf = acc.run(b.quantized);
-        const RunStats ey = eyeriss.run(b.baseline);
-
-        const double speedup =
-            ey.secondsPerSample() / bf.secondsPerSample();
-        const double energy_red =
-            ey.energyPerSampleJ() / bf.energyPerSampleJ();
-        speedups.push_back(speedup);
-        energy_reds.push_back(energy_red);
-        table.addRow({b.name, TextTable::times(speedup, 1),
-                      TextTable::times(paperFig13[i].perf, 1),
-                      TextTable::times(energy_red, 1),
-                      TextTable::times(paperFig13[i].energy, 1)});
-    }
-    table.addRow({"geomean", TextTable::times(geomean(speedups), 2),
-                  "3.90x", TextTable::times(geomean(energy_reds), 2),
-                  "5.10x"});
-    table.print();
-
-    if (per_layer) {
-        std::printf("\n=== AlexNet per-layer improvement over Eyeriss "
-                    "(paper §V-B1 table) ===\n\n");
-        const auto b = zoo::alexnet();
-        const RunStats bf = acc.run(b.quantized);
-        const RunStats ey = eyeriss.run(b.baseline);
-        TextTable pl({"Layer", "Config", "Speedup", "EnergyRed"});
-        for (std::size_t i = 0;
-             i < bf.layers.size() && i < ey.layers.size(); ++i) {
-            const auto &lb = bf.layers[i];
-            const auto &le = ey.layers[i];
-            const double sp = static_cast<double>(le.cycles) /
-                              static_cast<double>(lb.cycles);
-            const double er =
-                le.energy.totalJ() / lb.energy.totalJ();
-            pl.addRow({lb.name, lb.config, TextTable::times(sp, 2),
-                       TextTable::times(er, 2)});
-        }
-        pl.print();
-        std::printf("\npaper: conv 8/8 1.67x/6.5x, conv 4/1 6.4x/16.8x, "
-                    "fc 4/1 3.3x/30.7x, fc 8/8 1.0x/10.3x\n");
-    }
-    return 0;
+    return bitfusion::figures::benchMain("fig13", argc, argv);
 }

@@ -1,63 +1,14 @@
 /**
  * @file
- * Reproduces paper Fig. 14: per-component energy breakdown
- * (compute / on-chip buffers / register file / DRAM) for Bit Fusion
- * and Eyeriss across the eight benchmarks.
- *
- * Paper shape: both platforms spend >80% on memory; Bit Fusion is
- * DRAM-dominated with no register file; Eyeriss burns a large share
- * in its per-PE register files.
+ * Reproduces paper Fig. 14 (energy breakdown) via the figure registry (src/runner).
+ * Equivalent to `bitfusion_sweep --figure fig14`; accepts
+ * --threads N, --json PATH.
  */
 
-#include <cstdio>
-
-#include "src/baselines/eyeriss.h"
-#include "src/common/table.h"
-#include "src/core/accelerator.h"
-#include "src/dnn/model_zoo.h"
-
-namespace {
-
-std::string
-pct(double part, double total)
-{
-    return bitfusion::TextTable::num(100.0 * part / total, 1) + "%";
-}
-
-} // namespace
+#include "src/runner/figures.h"
 
 int
-main()
+main(int argc, char **argv)
 {
-    using namespace bitfusion;
-
-    Accelerator acc(AcceleratorConfig::eyerissMatched45());
-    EyerissModel eyeriss;
-
-    std::printf("=== Fig. 14: energy breakdown, Bit Fusion vs Eyeriss "
-                "===\n\n");
-    TextTable table({"Benchmark", "Platform", "Compute", "Buffers",
-                     "RegFile", "DRAM", "Total uJ/sample"});
-    for (const auto &b : zoo::all()) {
-        const RunStats bf = acc.run(b.quantized);
-        const RunStats ey = eyeriss.run(b.baseline);
-        const ComponentEnergy be = bf.energy();
-        const ComponentEnergy ee = ey.energy();
-        table.addRow({b.name, "BitFusion", pct(be.computeJ, be.totalJ()),
-                      pct(be.bufferJ, be.totalJ()),
-                      pct(be.rfJ, be.totalJ()),
-                      pct(be.dramJ, be.totalJ()),
-                      TextTable::num(be.totalJ() / bf.batch * 1e6, 2)});
-        table.addRow({b.name, "Eyeriss", pct(ee.computeJ, ee.totalJ()),
-                      pct(ee.bufferJ, ee.totalJ()),
-                      pct(ee.rfJ, ee.totalJ()),
-                      pct(ee.dramJ, ee.totalJ()),
-                      TextTable::num(ee.totalJ() / ey.batch * 1e6, 2)});
-    }
-    table.print();
-    std::printf("\npaper shape: Bit Fusion ~67-75%% DRAM, ~13-25%% "
-                "buffers, ~7-11%% compute, 0%% RF;\n"
-                "Eyeriss ~21-69%% DRAM with a large register-file "
-                "share (row-stationary per-PE RFs).\n");
-    return 0;
+    return bitfusion::figures::benchMain("fig14", argc, argv);
 }

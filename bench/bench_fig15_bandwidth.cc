@@ -1,65 +1,14 @@
 /**
  * @file
- * Reproduces paper Fig. 15: Bit Fusion performance as the off-chip
- * bandwidth sweeps 32..512 bits/cycle, normalized to the default 128
- * bits/cycle.
- *
- * Paper shape (geomean): 0.25x, 0.51x, 1.00x, 1.91x, 2.86x -- the
- * recurrent networks scale almost linearly (bandwidth-bound), the
- * CNNs saturate (compute-bound with data reuse).
+ * Reproduces paper Fig. 15 (bandwidth sweep) via the figure registry (src/runner).
+ * Equivalent to `bitfusion_sweep --figure fig15`; accepts
+ * --threads N, --json PATH.
  */
 
-#include <cstdio>
-#include <vector>
-
-#include "src/common/table.h"
-#include "src/core/accelerator.h"
-#include "src/dnn/model_zoo.h"
+#include "src/runner/figures.h"
 
 int
-main()
+main(int argc, char **argv)
 {
-    using namespace bitfusion;
-
-    const std::vector<std::uint64_t> widths = {32, 64, 128, 256, 512};
-    const auto benches = zoo::all();
-
-    std::printf("=== Fig. 15: speedup vs off-chip bandwidth (baseline "
-                "128 bits/cycle) ===\n\n");
-
-    // Baseline latencies at 128 bits/cycle.
-    std::vector<double> base;
-    {
-        Accelerator acc(AcceleratorConfig::eyerissMatched45());
-        for (const auto &b : benches)
-            base.push_back(acc.run(b.quantized).secondsPerSample());
-    }
-
-    std::vector<std::string> headers = {"Benchmark"};
-    for (auto w : widths)
-        headers.push_back(std::to_string(w) + "b/cyc");
-    TextTable table(headers);
-
-    std::vector<std::vector<double>> cols(widths.size());
-    for (std::size_t bi = 0; bi < benches.size(); ++bi) {
-        std::vector<std::string> row = {benches[bi].name};
-        for (std::size_t wi = 0; wi < widths.size(); ++wi) {
-            AcceleratorConfig cfg = AcceleratorConfig::eyerissMatched45();
-            cfg.bwBitsPerCycle = widths[wi];
-            Accelerator acc(cfg);
-            const double sec =
-                acc.run(benches[bi].quantized).secondsPerSample();
-            const double speedup = base[bi] / sec;
-            cols[wi].push_back(speedup);
-            row.push_back(TextTable::times(speedup, 2));
-        }
-        table.addRow(row);
-    }
-    std::vector<std::string> geo = {"geomean"};
-    for (auto &c : cols)
-        geo.push_back(TextTable::times(geomean(c), 2));
-    table.addRow(geo);
-    table.print();
-    std::printf("\npaper geomean: 0.25x  0.51x  1.00x  1.91x  2.86x\n");
-    return 0;
+    return bitfusion::figures::benchMain("fig15", argc, argv);
 }

@@ -1,61 +1,14 @@
 /**
  * @file
- * Reproduces paper Fig. 16: Bit Fusion per-sample throughput as the
- * batch size sweeps 1..256, normalized to batch 1.
- *
- * Paper shape (geomean): 1.00, 1.66, 2.43, 2.68, 2.68 for batch
- * 1/4/16/64/256 -- batching amortizes weight reads, so the
- * weight-bound recurrent models gain ~15-21x while the reuse-rich
- * CNNs gain ~1.2-1.5x, saturating beyond batch 64.
+ * Reproduces paper Fig. 16 (batch-size sweep) via the figure registry (src/runner).
+ * Equivalent to `bitfusion_sweep --figure fig16`; accepts
+ * --threads N, --json PATH.
  */
 
-#include <cstdio>
-#include <vector>
-
-#include "src/common/table.h"
-#include "src/core/accelerator.h"
-#include "src/dnn/model_zoo.h"
+#include "src/runner/figures.h"
 
 int
-main()
+main(int argc, char **argv)
 {
-    using namespace bitfusion;
-
-    const std::vector<unsigned> batches = {1, 4, 16, 64, 256};
-    const auto benches = zoo::all();
-
-    std::printf("=== Fig. 16: per-sample speedup vs batch size "
-                "(baseline batch 1) ===\n\n");
-
-    std::vector<std::string> headers = {"Benchmark"};
-    for (auto b : batches)
-        headers.push_back("B=" + std::to_string(b));
-    TextTable table(headers);
-
-    std::vector<std::vector<double>> cols(batches.size());
-    for (const auto &bench : benches) {
-        std::vector<std::string> row = {bench.name};
-        double base_sec = 0.0;
-        for (std::size_t bi = 0; bi < batches.size(); ++bi) {
-            AcceleratorConfig cfg = AcceleratorConfig::eyerissMatched45();
-            cfg.batch = batches[bi];
-            Accelerator acc(cfg);
-            const double sec =
-                acc.run(bench.quantized).secondsPerSample();
-            if (bi == 0)
-                base_sec = sec;
-            const double speedup = base_sec / sec;
-            cols[bi].push_back(speedup);
-            row.push_back(TextTable::times(speedup, 2));
-        }
-        table.addRow(row);
-    }
-    std::vector<std::string> geo = {"geomean"};
-    for (auto &c : cols)
-        geo.push_back(TextTable::times(geomean(c), 2));
-    table.addRow(geo);
-    table.print();
-    std::printf("\npaper geomean: 1.00  1.66  2.43  2.68  2.68 "
-                "(RNN/LSTM up to 21x, CNNs ~1.2-1.5x)\n");
-    return 0;
+    return bitfusion::figures::benchMain("fig16", argc, argv);
 }

@@ -1,64 +1,14 @@
 /**
  * @file
- * Reproduces paper Fig. 17: speedup over the Tegra X2 (FP32) for
- * Titan Xp FP32, Titan Xp INT8, and Bit Fusion scaled to 16 nm
- * (4096 Fusion Units, 896 KB SRAM, 500 MHz).
- *
- * Paper geomeans over TX2: Titan-FP32 12x, Titan-INT8 19x,
- * Bit Fusion 16x -- Bit Fusion nearly matches the 250 W GPU while
- * drawing under a watt.
+ * Reproduces paper Fig. 17 (GPU comparison) via the figure registry (src/runner).
+ * Equivalent to `bitfusion_sweep --figure fig17`; accepts
+ * --threads N, --json PATH.
  */
 
-#include <cstdio>
-#include <vector>
-
-#include "src/baselines/gpu.h"
-#include "src/common/table.h"
-#include "src/core/accelerator.h"
-#include "src/dnn/model_zoo.h"
+#include "src/runner/figures.h"
 
 int
-main()
+main(int argc, char **argv)
 {
-    using namespace bitfusion;
-
-    Accelerator bf(AcceleratorConfig::gpuScale16());
-    const GpuModel tx2(GpuSpec::tegraX2Fp32());
-    const GpuModel titan_fp32(GpuSpec::titanXpFp32());
-    const GpuModel titan_int8(GpuSpec::titanXpInt8());
-
-    std::printf("=== Fig. 17: speedup over Tegra X2 (FP32), 16 nm ===\n\n");
-
-    TextTable table({"Benchmark", "TitanXp-FP32", "TitanXp-INT8",
-                     "BitFusion-16nm"});
-    std::vector<double> g_fp32, g_int8, g_bf;
-    for (const auto &b : zoo::all()) {
-        const double tx2_sec =
-            tx2.run(b.baseline).secondsPerSample();
-        const double fp32_sec =
-            titan_fp32.run(b.baseline).secondsPerSample();
-        // INT8 TensorRT runs the quantized graph topology at the
-        // regular width (GPUs cannot exploit the 2x-wide low-bit
-        // models, so they keep the regular ones; paper §V-A).
-        const double int8_sec =
-            titan_int8.run(b.baseline).secondsPerSample();
-        const double bf_sec = bf.run(b.quantized).secondsPerSample();
-
-        const double s_fp32 = tx2_sec / fp32_sec;
-        const double s_int8 = tx2_sec / int8_sec;
-        const double s_bf = tx2_sec / bf_sec;
-        g_fp32.push_back(s_fp32);
-        g_int8.push_back(s_int8);
-        g_bf.push_back(s_bf);
-        table.addRow({b.name, TextTable::times(s_fp32, 1),
-                      TextTable::times(s_int8, 1),
-                      TextTable::times(s_bf, 1)});
-    }
-    table.addRow({"geomean", TextTable::times(geomean(g_fp32), 2),
-                  TextTable::times(geomean(g_int8), 2),
-                  TextTable::times(geomean(g_bf), 2)});
-    table.print();
-    std::printf("\npaper geomean: 12x (FP32), 19x (INT8), 16x "
-                "(Bit Fusion, 895 mW vs the GPU's 250 W TDP)\n");
-    return 0;
+    return bitfusion::figures::benchMain("fig17", argc, argv);
 }

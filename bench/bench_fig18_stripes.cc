@@ -1,80 +1,14 @@
 /**
  * @file
- * Reproduces paper Fig. 18: Bit Fusion speedup and energy reduction
- * over Stripes, tile-for-tile (one Stripes tile of 4096 SIPs is
- * replaced by 512 Fusion Units in the same 1.1 mm^2 with the same
- * on-chip memory; §V-A).
- *
- * Paper geomeans: 2.6x speedup, 3.9x energy reduction. Stripes only
- * exploits weight bitwidth (activations fixed at 16-bit), so the
- * benchmarks with narrow activations gain the most.
+ * Reproduces paper Fig. 18 (improvement over Stripes) via the figure registry (src/runner).
+ * Equivalent to `bitfusion_sweep --figure fig18`; accepts
+ * --threads N, --json PATH.
  */
 
-#include <cstdio>
-#include <vector>
-
-#include "src/baselines/stripes.h"
-#include "src/common/table.h"
-#include "src/core/accelerator.h"
-#include "src/dnn/model_zoo.h"
-
-namespace {
-
-struct PaperRow
-{
-    double perf;
-    double energy;
-};
-
-// Fig. 18 per-benchmark values from the paper's data table.
-const PaperRow paperFig18[] = {
-    {1.8, 2.7}, // AlexNet
-    {4.0, 6.0}, // Cifar-10
-    {2.1, 3.1}, // LSTM
-    {5.2, 7.8}, // LeNet-5
-    {2.6, 4.4}, // ResNet-18
-    {2.0, 3.0}, // RNN
-    {1.8, 2.7}, // SVHN
-    {2.9, 4.4}, // VGG-7
-};
-
-} // namespace
+#include "src/runner/figures.h"
 
 int
-main()
+main(int argc, char **argv)
 {
-    using namespace bitfusion;
-
-    Accelerator bf(AcceleratorConfig::stripesTileMatched45());
-    StripesModel stripes;
-
-    std::printf("=== Fig. 18: Bit Fusion improvement over Stripes "
-                "(45 nm, tile-matched) ===\n\n");
-
-    TextTable table({"Benchmark", "Speedup", "(paper)", "EnergyRed",
-                     "(paper)"});
-    std::vector<double> speedups, energy_reds;
-    const auto benches = zoo::all();
-    for (std::size_t i = 0; i < benches.size(); ++i) {
-        const auto &b = benches[i];
-        // Both platforms run the same quantized models (Stripes also
-        // benefits from the reduced weight bitwidths).
-        const RunStats bfs = bf.run(b.quantized);
-        const RunStats sts = stripes.run(b.quantized);
-        const double speedup =
-            sts.secondsPerSample() / bfs.secondsPerSample();
-        const double energy_red =
-            sts.energyPerSampleJ() / bfs.energyPerSampleJ();
-        speedups.push_back(speedup);
-        energy_reds.push_back(energy_red);
-        table.addRow({b.name, TextTable::times(speedup, 1),
-                      TextTable::times(paperFig18[i].perf, 1),
-                      TextTable::times(energy_red, 1),
-                      TextTable::times(paperFig18[i].energy, 1)});
-    }
-    table.addRow({"geomean", TextTable::times(geomean(speedups), 2),
-                  "2.61x", TextTable::times(geomean(energy_reds), 2),
-                  "3.97x"});
-    table.print();
-    return 0;
+    return bitfusion::figures::benchMain("fig18", argc, argv);
 }

@@ -1,55 +1,14 @@
 /**
  * @file
- * Reproduces paper Table II: the eight benchmarks with their
- * multiply-add counts and model-weight footprints, ours vs the
- * paper's numbers.
- *
- * Notes: the paper counts one multiply-add as one operation. Weight
- * footprints are reported at each layer's stored bitwidth; the paper
- * appears to count AlexNet at ~2 bytes/weight of the regular model,
- * so our quantized footprints differ there (see EXPERIMENTS.md).
+ * Reproduces paper Table II (benchmarks) via the figure registry (src/runner).
+ * Equivalent to `bitfusion_sweep --figure table2`; accepts
+ * --threads N, --json PATH.
  */
 
-#include <cstdio>
-
-#include "src/common/table.h"
-#include "src/dnn/model_zoo.h"
+#include "src/runner/figures.h"
 
 int
-main()
+main(int argc, char **argv)
 {
-    using namespace bitfusion;
-
-    std::printf("=== Table II: evaluated CNN/RNN benchmarks ===\n\n");
-    TextTable table({"DNN", "Mops", "(paper)", "Weights MB", "(paper)",
-                     "Params M", "Layers"});
-    for (const auto &b : zoo::all()) {
-        const auto &net = b.quantized;
-        table.addRow({
-            b.name,
-            TextTable::num(static_cast<double>(net.totalMacs()) / 1e6, 0),
-            TextTable::num(b.paperMops, 0),
-            TextTable::num(static_cast<double>(net.totalWeightBits()) /
-                               (8.0 * 1024 * 1024), 2),
-            TextTable::num(b.paperWeightMB, 1),
-            TextTable::num(static_cast<double>(net.totalWeights()) / 1e6,
-                           2),
-            std::to_string(net.layers().size()),
-        });
-    }
-    table.print();
-
-    std::printf("\n(regular-width baselines used on Eyeriss/GPU)\n\n");
-    TextTable base({"DNN", "Mops", "Params M"});
-    for (const auto &b : zoo::all()) {
-        base.addRow({
-            b.name,
-            TextTable::num(
-                static_cast<double>(b.baseline.totalMacs()) / 1e6, 0),
-            TextTable::num(
-                static_cast<double>(b.baseline.totalWeights()) / 1e6, 2),
-        });
-    }
-    base.print();
-    return 0;
+    return bitfusion::figures::benchMain("table2", argc, argv);
 }

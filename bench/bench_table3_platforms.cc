@@ -1,83 +1,14 @@
 /**
  * @file
- * Reproduces paper Table III: the evaluated ASIC and GPU platform
- * parameters, as instantiated by this library's models.
+ * Reproduces paper Table III (platforms) via the figure registry (src/runner).
+ * Equivalent to `bitfusion_sweep --figure table3`; accepts
+ * --threads N, --json PATH.
  */
 
-#include <cstdio>
-
-#include "src/arch/hw_model.h"
-#include "src/baselines/eyeriss.h"
-#include "src/baselines/gpu.h"
-#include "src/baselines/stripes.h"
-#include "src/common/table.h"
-#include "src/sim/config.h"
+#include "src/runner/figures.h"
 
 int
-main()
+main(int argc, char **argv)
 {
-    using namespace bitfusion;
-
-    std::printf("=== Table III: evaluated platforms ===\n\n");
-
-    TextTable asic({"ASIC", "Compute", "Freq MHz", "On-chip", "Tech",
-                    "bits/cyc"});
-    const auto bf45 = AcceleratorConfig::eyerissMatched45();
-    asic.addRow({bf45.name,
-                 std::to_string(bf45.fusionUnits()) + " FUs (" +
-                     std::to_string(bf45.fusionUnits() *
-                                    bf45.bricksPerUnit) +
-                     " BitBricks)",
-                 TextTable::num(bf45.freqMHz, 0),
-                 TextTable::num(static_cast<double>(bf45.onChipBits()) /
-                                (8 * 1024), 0) + " KB",
-                 "45 nm", std::to_string(bf45.bwBitsPerCycle)});
-    const EyerissConfig ey;
-    asic.addRow({"eyeriss", std::to_string(ey.totalPEs()) + " PEs (" +
-                     std::to_string(ey.peRows) + "x" +
-                     std::to_string(ey.peCols) + ", 16-bit)",
-                 TextTable::num(ey.freqMHz, 0),
-                 TextTable::num(static_cast<double>(ey.sramBits) /
-                                (8 * 1024), 1) + " KB",
-                 "45 nm", std::to_string(ey.bwBitsPerCycle)});
-    const StripesConfig st;
-    asic.addRow({"stripes", std::to_string(st.tiles) + " tiles x " +
-                     std::to_string(st.sips) + " SIPs",
-                 TextTable::num(st.freqMHz, 0),
-                 TextTable::num(static_cast<double>(st.sramBits *
-                                                    st.tiles) /
-                                (8 * 1024), 0) + " KB",
-                 "45 nm", std::to_string(st.bwBitsPerCycle)});
-    const auto bf16 = AcceleratorConfig::gpuScale16();
-    asic.addRow({bf16.name,
-                 std::to_string(bf16.fusionUnits()) + " FUs (" +
-                     std::to_string(bf16.tiles) + " tiles)",
-                 TextTable::num(bf16.freqMHz, 0),
-                 TextTable::num(static_cast<double>(bf16.onChipBits()) /
-                                (8 * 1024), 0) + " KB",
-                 "16 nm", std::to_string(bf16.bwBitsPerCycle)});
-    asic.print();
-
-    std::printf("\n");
-    TextTable gpu({"GPU", "Peak Gmac/s", "Mem GB/s", "Bytes/elem",
-                   "Kernel eff"});
-    for (const auto &spec : {GpuSpec::tegraX2Fp32(),
-                             GpuSpec::titanXpFp32(),
-                             GpuSpec::titanXpInt8()}) {
-        gpu.addRow({spec.name,
-                    TextTable::num(spec.peakMacsPerSec / 1e9, 0),
-                    TextTable::num(spec.memBytesPerSec / 1e9, 0),
-                    TextTable::num(spec.bytesPerElem, 0),
-                    TextTable::num(spec.efficiency, 2)});
-    }
-    gpu.print();
-
-    std::printf("\nderived: Fusion Unit %.0f um^2 at 45 nm; %u units "
-                "per 1.1 mm^2 compute budget;\n16 nm scaling 0.86x V, "
-                "0.42x C -> %.2fx energy, %.2fx area\n",
-                HwModel::fusionUnit45().totalAreaUm2(),
-                HwModel::fusionUnitsForBudget(1.1),
-                HwModel::energyScale(TechNode::Nm16),
-                HwModel::areaScale(TechNode::Nm16));
-    return 0;
+    return bitfusion::figures::benchMain("table3", argc, argv);
 }

@@ -22,6 +22,9 @@
 
 namespace bitfusion {
 
+/** Default inference batch for the GPU models (paper batch 16). */
+constexpr unsigned kGpuDefaultBatch = 16;
+
 /** One GPU platform (Table III). */
 struct GpuSpec
 {
@@ -51,7 +54,7 @@ struct GpuSpec
 class GpuModel
 {
   public:
-    explicit GpuModel(GpuSpec spec, unsigned batch = 16);
+    explicit GpuModel(GpuSpec spec, unsigned batch = kGpuDefaultBatch);
 
     /** Run a network for one batch; returns time-only stats. */
     RunStats run(const Network &net) const;

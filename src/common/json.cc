@@ -1,0 +1,178 @@
+/**
+ * @file
+ * JSON serialization for the sweep runner.
+ */
+
+#include "src/common/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "src/common/logging.h"
+
+namespace bitfusion {
+namespace json {
+
+Value
+Value::array()
+{
+    Value v;
+    v.kind_ = Kind::Array;
+    return v;
+}
+
+Value
+Value::object()
+{
+    Value v;
+    v.kind_ = Kind::Object;
+    return v;
+}
+
+Value &
+Value::set(const std::string &key, Value v)
+{
+    BF_ASSERT(kind_ == Kind::Object, "set() on non-object JSON value");
+    for (auto &kv : obj_) {
+        if (kv.first == key) {
+            kv.second = std::move(v);
+            return *this;
+        }
+    }
+    obj_.emplace_back(key, std::move(v));
+    return *this;
+}
+
+Value &
+Value::push(Value v)
+{
+    BF_ASSERT(kind_ == Kind::Array, "push() on non-array JSON value");
+    arr_.push_back(std::move(v));
+    return *this;
+}
+
+std::string
+Value::quote(const std::string &s)
+{
+    std::string out = "\"";
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(c) & 0xff);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+    return out;
+}
+
+namespace {
+
+std::string
+formatDouble(double v)
+{
+    if (!std::isfinite(v))
+        return "null"; // JSON has no inf/nan.
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.12g", v);
+    return buf;
+}
+
+} // namespace
+
+void
+Value::dumpTo(std::string &out, int indent, int depth) const
+{
+    const std::string pad(indent > 0 ? indent * (depth + 1) : 0, ' ');
+    const std::string closePad(indent > 0 ? indent * depth : 0, ' ');
+    const char *nl = indent > 0 ? "\n" : "";
+
+    switch (kind_) {
+      case Kind::Null:
+        out += "null";
+        break;
+      case Kind::Bool:
+        out += bool_ ? "true" : "false";
+        break;
+      case Kind::Int:
+        out += std::to_string(int_);
+        break;
+      case Kind::Uint:
+        out += std::to_string(uint_);
+        break;
+      case Kind::Double:
+        out += formatDouble(double_);
+        break;
+      case Kind::String:
+        out += quote(str_);
+        break;
+      case Kind::Array:
+        if (arr_.empty()) {
+            out += "[]";
+            break;
+        }
+        out += '[';
+        out += nl;
+        for (std::size_t i = 0; i < arr_.size(); ++i) {
+            out += pad;
+            arr_[i].dumpTo(out, indent, depth + 1);
+            if (i + 1 < arr_.size())
+                out += ',';
+            out += nl;
+        }
+        out += closePad;
+        out += ']';
+        break;
+      case Kind::Object:
+        if (obj_.empty()) {
+            out += "{}";
+            break;
+        }
+        out += '{';
+        out += nl;
+        for (std::size_t i = 0; i < obj_.size(); ++i) {
+            out += pad;
+            out += quote(obj_[i].first);
+            out += indent > 0 ? ": " : ":";
+            obj_[i].second.dumpTo(out, indent, depth + 1);
+            if (i + 1 < obj_.size())
+                out += ',';
+            out += nl;
+        }
+        out += closePad;
+        out += '}';
+        break;
+    }
+}
+
+std::string
+Value::dump(int indent) const
+{
+    std::string out;
+    dumpTo(out, indent, 0);
+    return out;
+}
+
+} // namespace json
+} // namespace bitfusion

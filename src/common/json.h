@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Minimal JSON document builder for sweep output.
+ *
+ * The sweep runner emits machine-readable results next to the ASCII
+ * tables; this header provides the small value tree + serializer it
+ * needs without an external dependency. Object keys keep insertion
+ * order so output is deterministic and diffable.
+ */
+
+#ifndef BITFUSION_COMMON_JSON_H
+#define BITFUSION_COMMON_JSON_H
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace bitfusion {
+namespace json {
+
+/** One JSON value (null / bool / number / string / array / object). */
+class Value
+{
+  public:
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Int,
+        Uint,
+        Double,
+        String,
+        Array,
+        Object
+    };
+
+    Value() : kind_(Kind::Null) {}
+    Value(bool b) : kind_(Kind::Bool), bool_(b) {}
+    Value(std::int64_t v) : kind_(Kind::Int), int_(v) {}
+    Value(std::uint64_t v) : kind_(Kind::Uint), uint_(v) {}
+    Value(int v) : kind_(Kind::Int), int_(v) {}
+    Value(unsigned v) : kind_(Kind::Uint), uint_(v) {}
+    Value(double v) : kind_(Kind::Double), double_(v) {}
+    Value(std::string s) : kind_(Kind::String), str_(std::move(s)) {}
+    Value(const char *s) : kind_(Kind::String), str_(s) {}
+
+    /** Empty array value. */
+    static Value array();
+    /** Empty object value. */
+    static Value object();
+
+    Kind kind() const { return kind_; }
+
+    /** Object: set a member (insertion-ordered). Returns *this. */
+    Value &set(const std::string &key, Value v);
+    /** Array: append an element. Returns *this. */
+    Value &push(Value v);
+
+    /** Serialize; @p indent > 0 pretty-prints with that step. */
+    std::string dump(int indent = 0) const;
+
+    /** Escape and quote a string per RFC 8259. */
+    static std::string quote(const std::string &s);
+
+  private:
+    void dumpTo(std::string &out, int indent, int depth) const;
+
+    Kind kind_;
+    bool bool_ = false;
+    std::int64_t int_ = 0;
+    std::uint64_t uint_ = 0;
+    double double_ = 0.0;
+    std::string str_;
+    std::vector<Value> arr_;
+    std::vector<std::pair<std::string, Value>> obj_;
+};
+
+} // namespace json
+} // namespace bitfusion
+
+#endif // BITFUSION_COMMON_JSON_H

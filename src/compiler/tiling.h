@@ -13,7 +13,13 @@
 
 namespace bitfusion {
 
-/** Tile-size and loop-order selection. */
+/**
+ * Tile-size and loop-order selection.
+ *
+ * Owns a copy of the configuration so instances (and the Compiler
+ * objects embedding them) are safely copyable and usable from
+ * concurrent sweep workers; all methods are const.
+ */
 class Tiler
 {
   public:
@@ -53,7 +59,7 @@ class Tiler
                 std::uint64_t o_bits_total) const;
 
   private:
-    const AcceleratorConfig &cfg;
+    AcceleratorConfig cfg;
 };
 
 } // namespace bitfusion

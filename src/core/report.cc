@@ -7,6 +7,73 @@
 namespace bitfusion {
 namespace report {
 
+json::Value
+energyJson(const ComponentEnergy &energy)
+{
+    return json::Value::object()
+        .set("compute", energy.computeJ)
+        .set("buffers", energy.bufferJ)
+        .set("rf", energy.rfJ)
+        .set("dram", energy.dramJ)
+        .set("total", energy.totalJ());
+}
+
+json::Value
+layerJson(const LayerStats &layer)
+{
+    return json::Value::object()
+        .set("name", layer.name)
+        .set("config", layer.config)
+        .set("macs", layer.macs)
+        .set("compute_cycles", layer.computeCycles)
+        .set("mem_cycles", layer.memCycles)
+        .set("cycles", layer.cycles)
+        .set("dram_load_bits", layer.dramLoadBits)
+        .set("dram_store_bits", layer.dramStoreBits)
+        .set("sram_bits", layer.sramBits)
+        .set("rf_bits", layer.rfBits)
+        .set("utilization", layer.utilization)
+        .set("energy_j", energyJson(layer.energy));
+}
+
+void
+fillRunJson(json::Value &obj, const RunStats &stats, bool per_layer)
+{
+    std::uint64_t loadBits = 0, storeBits = 0;
+    for (const auto &l : stats.layers) {
+        loadBits += l.dramLoadBits;
+        storeBits += l.dramStoreBits;
+    }
+    obj.set("total_cycles", stats.totalCycles)
+        .set("freq_mhz", stats.freqMHz)
+        .set("seconds_per_batch", stats.seconds())
+        .set("seconds_per_sample", stats.secondsPerSample())
+        .set("macs", stats.totalMacs())
+        .set("dram_load_bits", loadBits)
+        .set("dram_store_bits", storeBits)
+        .set("energy_j", energyJson(stats.energy()))
+        .set("energy_per_sample_j", stats.energyPerSampleJ());
+    if (per_layer) {
+        json::Value layers = json::Value::array();
+        for (const auto &l : stats.layers)
+            layers.push(layerJson(l));
+        obj.set("layers", std::move(layers));
+    }
+}
+
+std::string
+json(const RunStats &stats)
+{
+    // Qualified: inside this function, plain `json` names the
+    // function, not the bitfusion::json namespace.
+    bitfusion::json::Value obj = bitfusion::json::Value::object();
+    obj.set("platform", stats.platform)
+        .set("network", stats.network)
+        .set("batch", stats.batch);
+    fillRunJson(obj, stats, true);
+    return obj.dump(2);
+}
+
 std::string
 csv(const RunStats &stats)
 {

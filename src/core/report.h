@@ -9,16 +9,38 @@
 
 #include <string>
 
+#include "src/common/json.h"
 #include "src/core/stats.h"
 
 namespace bitfusion {
 namespace report {
+
+/** Energy split as a JSON object (joules). */
+json::Value energyJson(const ComponentEnergy &energy);
+
+/** One layer's stats as a JSON object. */
+json::Value layerJson(const LayerStats &layer);
+
+/**
+ * Append run-level fields (cycles, time, traffic, energy; layers
+ * when @p per_layer) to @p obj. Shared between report::json and the
+ * sweep runner's per-cell records.
+ */
+void fillRunJson(json::Value &obj, const RunStats &stats,
+                 bool per_layer);
 
 /**
  * Per-layer CSV: one row per layer with cycles, traffic, utilization
  * and the energy split; header row first.
  */
 std::string csv(const RunStats &stats);
+
+/**
+ * Machine-readable JSON for one run: run-level cycles/time/energy
+ * plus the per-layer records, matching the per-cell shape the sweep
+ * runner emits (src/runner/sweep.h).
+ */
+std::string json(const RunStats &stats);
 
 /** Multi-line human-readable summary of a run. */
 std::string summary(const RunStats &stats);

@@ -1,0 +1,388 @@
+/**
+ * @file
+ * Sweep grid expansion, the compiled-network cache, and the
+ * fixed-size thread pool that executes the cells.
+ */
+
+#include "src/runner/sweep.h"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "src/common/json.h"
+#include "src/common/logging.h"
+#include "src/compiler/codegen.h"
+#include "src/core/report.h"
+#include "src/sim/simulator.h"
+
+namespace bitfusion {
+
+namespace {
+
+/**
+ * Run fn(0..count-1) on up to @p threads workers pulling indices
+ * from a shared atomic counter. The first exception (workers should
+ * not normally throw; models report user error via BF_FATAL) is
+ * rethrown on the calling thread after all workers join.
+ */
+template <typename Fn>
+void
+parallelFor(std::size_t count, unsigned threads, Fn &&fn)
+{
+    if (count == 0)
+        return;
+    if (threads <= 1 || count == 1) {
+        for (std::size_t i = 0; i < count; ++i)
+            fn(i);
+        return;
+    }
+
+    std::atomic<std::size_t> next{0};
+    std::exception_ptr firstError;
+    std::mutex errorMutex;
+    auto worker = [&]() {
+        for (;;) {
+            const std::size_t i = next.fetch_add(1);
+            if (i >= count)
+                return;
+            try {
+                fn(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(errorMutex);
+                if (!firstError)
+                    firstError = std::current_exception();
+            }
+        }
+    };
+
+    const unsigned n =
+        static_cast<unsigned>(std::min<std::size_t>(threads, count));
+    std::vector<std::thread> pool;
+    pool.reserve(n);
+    for (unsigned t = 0; t < n; ++t)
+        pool.emplace_back(worker);
+    for (auto &th : pool)
+        th.join();
+    if (firstError)
+        std::rethrow_exception(firstError);
+}
+
+/** The network variant a platform executes. */
+const Network &
+variantFor(const SweepPlatform &platform, const SweepNetwork &net)
+{
+    return platform.runsQuantized ? net.quantized : net.baseline;
+}
+
+/** Default batch of a platform when the spec gives no override. */
+unsigned
+defaultBatch(const SweepPlatform &platform)
+{
+    switch (platform.kind) {
+      case PlatformKind::BitFusion:
+        return platform.bf.batch;
+      case PlatformKind::Eyeriss:
+        return platform.eyeriss.batch;
+      case PlatformKind::Stripes:
+        return platform.stripes.batch;
+      case PlatformKind::Gpu:
+        return kGpuDefaultBatch; // GpuSpec carries no batch field.
+    }
+    BF_PANIC("unknown platform kind");
+}
+
+void
+validateSpec(const SweepSpec &spec)
+{
+    if (spec.platforms.empty())
+        BF_FATAL("sweep '", spec.name, "' has no platforms");
+    if (spec.networks.empty())
+        BF_FATAL("sweep '", spec.name, "' has no networks");
+
+    std::unordered_set<std::string> seen;
+    for (const auto &p : spec.platforms) {
+        if (p.name.empty())
+            BF_FATAL("sweep '", spec.name, "' has an unnamed platform");
+        if (!seen.insert(p.name).second)
+            BF_FATAL("sweep '", spec.name, "' has duplicate platform '",
+                     p.name, "'");
+        if (p.kind == PlatformKind::BitFusion)
+            p.bf.validate();
+    }
+    seen.clear();
+    for (const auto &n : spec.networks) {
+        if (n.name.empty())
+            BF_FATAL("sweep '", spec.name, "' has an unnamed network");
+        if (!seen.insert(n.name).second)
+            BF_FATAL("sweep '", spec.name, "' has duplicate network '",
+                     n.name, "'");
+    }
+    for (unsigned b : spec.batches) {
+        if (b == 0)
+            BF_FATAL("sweep '", spec.name, "' has a zero batch size");
+    }
+}
+
+} // namespace
+
+// ------------------------------------------------------------ factories
+
+SweepPlatform
+SweepPlatform::bitfusion(AcceleratorConfig cfg, std::string name)
+{
+    SweepPlatform p;
+    p.kind = PlatformKind::BitFusion;
+    p.name = name.empty() ? cfg.name : std::move(name);
+    p.runsQuantized = true;
+    p.bf = std::move(cfg);
+    return p;
+}
+
+SweepPlatform
+SweepPlatform::eyerissBaseline(EyerissConfig cfg)
+{
+    SweepPlatform p;
+    p.kind = PlatformKind::Eyeriss;
+    p.name = "eyeriss";
+    p.runsQuantized = false;
+    p.eyeriss = cfg;
+    return p;
+}
+
+SweepPlatform
+SweepPlatform::stripesBaseline(StripesConfig cfg)
+{
+    SweepPlatform p;
+    p.kind = PlatformKind::Stripes;
+    p.name = "stripes";
+    p.runsQuantized = true;
+    p.stripes = cfg;
+    return p;
+}
+
+SweepPlatform
+SweepPlatform::gpuBaseline(GpuSpec spec)
+{
+    SweepPlatform p;
+    p.kind = PlatformKind::Gpu;
+    p.name = spec.name;
+    p.runsQuantized = false;
+    p.gpu = std::move(spec);
+    return p;
+}
+
+SweepNetwork
+SweepNetwork::fromBenchmark(const zoo::Benchmark &bench)
+{
+    SweepNetwork n;
+    n.name = bench.name;
+    n.quantized = bench.quantized;
+    n.baseline = bench.baseline;
+    return n;
+}
+
+SweepNetwork
+SweepNetwork::uniform(std::string name, Network net)
+{
+    SweepNetwork n;
+    n.name = std::move(name);
+    n.quantized = net;
+    n.baseline = std::move(net);
+    return n;
+}
+
+std::size_t
+SweepSpec::cellCount() const
+{
+    return platforms.size() * networks.size() *
+           std::max<std::size_t>(batches.size(), 1);
+}
+
+// ---------------------------------------------------------- SweepResult
+
+const SweepCellResult *
+SweepResult::find(const std::string &platform, const std::string &network,
+                  unsigned batch) const
+{
+    for (const auto &c : cells_) {
+        if (c.platform == platform && c.network == network &&
+            (batch == 0 || c.batch == batch)) {
+            return &c;
+        }
+    }
+    return nullptr;
+}
+
+const RunStats &
+SweepResult::stats(const std::string &platform, const std::string &network,
+                   unsigned batch) const
+{
+    const SweepCellResult *c = find(platform, network, batch);
+    if (c == nullptr) {
+        BF_FATAL("sweep '", name_, "' has no cell (", platform, ", ",
+                 network, ", batch ", batch, ")");
+    }
+    return c->stats;
+}
+
+std::string
+SweepResult::json(bool per_layer) const
+{
+    json::Value doc = json::Value::object();
+    doc.set("sweep", name_)
+        .set("threads", threads_)
+        .set("compiles", static_cast<std::uint64_t>(compiles_))
+        .set("cache_hits", static_cast<std::uint64_t>(cacheHits_));
+
+    json::Value cells = json::Value::array();
+    for (const auto &c : cells_) {
+        json::Value cell = json::Value::object();
+        cell.set("platform", c.platform)
+            .set("network", c.network)
+            .set("batch", c.batch);
+        report::fillRunJson(cell, c.stats, per_layer);
+        cells.push(std::move(cell));
+    }
+    doc.set("cells", std::move(cells));
+    return doc.dump(2);
+}
+
+// ---------------------------------------------------------- SweepRunner
+
+SweepRunner::SweepRunner(SweepOptions opts) : opts(opts) {}
+
+unsigned
+SweepRunner::effectiveThreads(std::size_t cells) const
+{
+    unsigned n = opts.threads;
+    if (n == 0) {
+        n = std::thread::hardware_concurrency();
+        if (n == 0)
+            n = 1;
+    }
+    return static_cast<unsigned>(
+        std::min<std::size_t>(n, std::max<std::size_t>(cells, 1)));
+}
+
+std::vector<SweepCell>
+SweepRunner::expand(const SweepSpec &spec)
+{
+    validateSpec(spec);
+    std::vector<SweepCell> cells;
+    cells.reserve(spec.cellCount());
+    for (std::size_t p = 0; p < spec.platforms.size(); ++p) {
+        for (std::size_t n = 0; n < spec.networks.size(); ++n) {
+            if (spec.batches.empty()) {
+                cells.push_back({p, n, 0});
+                continue;
+            }
+            for (unsigned b : spec.batches)
+                cells.push_back({p, n, b});
+        }
+    }
+    return cells;
+}
+
+SweepResult
+SweepRunner::run(const SweepSpec &spec) const
+{
+    const std::vector<SweepCell> cells = expand(spec);
+    const unsigned threads = effectiveThreads(cells.size());
+
+    // Deduplicate the compilation work: one job per distinct
+    // (compile-relevant config, network variant, batch) triple.
+    struct CompileJob
+    {
+        AcceleratorConfig cfg;
+        const Network *net = nullptr;
+    };
+    std::vector<CompileJob> jobs;
+    std::unordered_map<std::string, std::size_t> keyToJob;
+    std::vector<std::size_t> cellJob(cells.size(), SIZE_MAX);
+    std::size_t bitfusionCells = 0;
+
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        const SweepCell &cell = cells[i];
+        const SweepPlatform &platform = spec.platforms[cell.platformIndex];
+        if (platform.kind != PlatformKind::BitFusion)
+            continue;
+        ++bitfusionCells;
+        AcceleratorConfig cfg = platform.bf;
+        if (cell.batch != 0)
+            cfg.batch = cell.batch;
+        const std::string key =
+            cfg.compileKey() + "|" + std::to_string(cell.networkIndex) +
+            (platform.runsQuantized ? "|q" : "|b");
+        auto [it, inserted] = keyToJob.emplace(key, jobs.size());
+        if (inserted) {
+            jobs.push_back(
+                {std::move(cfg),
+                 &variantFor(platform, spec.networks[cell.networkIndex])});
+        }
+        cellJob[i] = it->second;
+    }
+
+    // Phase 1: populate the compiled-network cache in parallel.
+    std::vector<CompiledNetwork> compiled(jobs.size());
+    parallelFor(jobs.size(), threads, [&](std::size_t j) {
+        compiled[j] = Compiler(jobs[j].cfg).compile(*jobs[j].net);
+    });
+
+    // Phase 2: simulate every cell. Workers write disjoint slots of
+    // the grid-ordered result vector, so output order and content
+    // are independent of the thread count.
+    SweepResult result;
+    result.name_ = spec.name;
+    result.compiles_ = jobs.size();
+    result.cacheHits_ = bitfusionCells - jobs.size();
+    result.threads_ = threads;
+    result.cells_.resize(cells.size());
+
+    parallelFor(cells.size(), threads, [&](std::size_t i) {
+        const SweepCell &cell = cells[i];
+        const SweepPlatform &platform = spec.platforms[cell.platformIndex];
+        const SweepNetwork &net = spec.networks[cell.networkIndex];
+
+        SweepCellResult r;
+        r.cell = cell;
+        r.platform = platform.name;
+        r.network = net.name;
+        r.batch = cell.batch != 0 ? cell.batch : defaultBatch(platform);
+
+        switch (platform.kind) {
+          case PlatformKind::BitFusion: {
+            AcceleratorConfig cfg = platform.bf;
+            cfg.batch = r.batch;
+            r.stats = Simulator(cfg).run(compiled[cellJob[i]]);
+            break;
+          }
+          case PlatformKind::Eyeriss: {
+            EyerissConfig cfg = platform.eyeriss;
+            cfg.batch = r.batch;
+            r.stats = EyerissModel(cfg).run(variantFor(platform, net));
+            break;
+          }
+          case PlatformKind::Stripes: {
+            StripesConfig cfg = platform.stripes;
+            cfg.batch = r.batch;
+            r.stats = StripesModel(cfg).run(variantFor(platform, net));
+            break;
+          }
+          case PlatformKind::Gpu: {
+            r.stats = GpuModel(platform.gpu, r.batch)
+                          .run(variantFor(platform, net));
+            break;
+          }
+        }
+        result.cells_[i] = std::move(r);
+    });
+
+    return result;
+}
+
+} // namespace bitfusion

@@ -1,9 +1,21 @@
 #include "src/sim/config.h"
 
+#include <sstream>
+
 #include "src/common/bitutils.h"
 #include "src/common/logging.h"
 
 namespace bitfusion {
+
+std::string
+AcceleratorConfig::compileKey() const
+{
+    std::ostringstream os;
+    os << ibufBits << '/' << obufBits << '/' << wbufBits << '|' << 'b'
+       << batch << '|' << (layerFusion ? "lf" : "-") << ','
+       << (loopOrdering ? "lo" : "-");
+    return os.str();
+}
 
 void
 AcceleratorConfig::validate() const

@@ -78,6 +78,19 @@ struct AcceleratorConfig
     void validate() const;
 
     /**
+     * Identity string over every field the Compiler reads:
+     * scratchpad capacities, batch, and the code-optimization
+     * switches (tiling is buffer-driven; array geometry, bandwidth,
+     * and frequency only matter at simulation time). Two
+     * configurations with equal keys produce identical
+     * CompiledNetworks for any network, so the sweep runner's
+     * compiled-network cache shares across geometry, bandwidth, and
+     * frequency sweeps. Extend this when the Compiler starts
+     * consuming a new field.
+     */
+    std::string compileKey() const;
+
+    /**
      * The Eyeriss-matched 45 nm configuration of §V-A: 1.1 mm^2 of
      * compute (512 Fusion Units as 16x32), 112 KB of SRAM, 500 MHz,
      * 128 bits/cycle, batch 16.

@@ -19,7 +19,15 @@
 
 namespace bitfusion {
 
-/** Cycle-level simulator for the Bit Fusion accelerator. */
+/**
+ * Cycle-level simulator for the Bit Fusion accelerator.
+ *
+ * Thread safety: run()/runSchedule() are const, deterministic, and
+ * touch no global or mutable state, so one instance may be shared
+ * across threads and distinct instances never interfere. The sweep
+ * runner (src/runner) relies on this; keep new simulator state
+ * per-call or per-instance-const.
+ */
 class Simulator
 {
   public:

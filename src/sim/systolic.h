@@ -38,7 +38,14 @@ struct SystolicTiming
     double utilization = 0.0;
 };
 
-/** Maps GEMMs onto the configured array. */
+/**
+ * Maps GEMMs onto the configured array.
+ *
+ * Owns a copy of the configuration so instances (and the Simulator
+ * objects embedding them) are safely copyable and usable from
+ * concurrent sweep workers; map() is const and touches no shared
+ * state.
+ */
 class SystolicArray
 {
   public:
@@ -56,7 +63,7 @@ class SystolicArray
     std::uint64_t peakMacsPerCycle(const FusionConfig &bits) const;
 
   private:
-    const AcceleratorConfig &cfg;
+    AcceleratorConfig cfg;
 };
 
 } // namespace bitfusion

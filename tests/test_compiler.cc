@@ -169,8 +169,9 @@ TEST(Compiler, FusedOutputBitsTrackConsumer)
     EXPECT_EQ(cn.schedules[0].outBits, 1u);
     // Unfused outputs would be 32-bit; fused ones never are.
     for (const auto &s : cn.schedules) {
-        if (s.fusedActivation)
+        if (s.fusedActivation) {
             EXPECT_LT(s.outBits, 32u) << s.layer.name;
+        }
     }
 }
 

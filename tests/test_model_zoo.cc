@@ -161,8 +161,9 @@ TEST(ModelZoo, BaselinesAreSixteenBit)
 {
     for (const auto &b : zoo::all())
         for (const auto &l : b.baseline.layers()) {
-            if (l.usesMacArray())
+            if (l.usesMacArray()) {
                 EXPECT_EQ(l.bits.aBits, 16u) << b.name << "/" << l.name;
+            }
         }
 }
 

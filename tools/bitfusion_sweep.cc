@@ -1,0 +1,88 @@
+/**
+ * @file
+ * bitfusion_sweep: reproduce any paper figure from one binary.
+ *
+ *   bitfusion_sweep --list
+ *   bitfusion_sweep --figure fig13 [--threads N] [--json PATH]
+ *                   [--per-layer]
+ *   bitfusion_sweep --all [--threads N]
+ *
+ * Figures run on the parallel sweep engine; output is the same
+ * ASCII table the matching bench binary prints, plus optional
+ * machine-readable JSON.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "src/runner/figures.h"
+
+namespace {
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s --figure ID [--threads N] [--json PATH] "
+                 "[--per-layer]\n"
+                 "       %s --all [--threads N]\n"
+                 "       %s --list\n",
+                 argv0, argv0, argv0);
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace bitfusion::figures;
+
+    std::vector<std::string> ids;
+    FigureOptions options;
+    bool list = false, run_all = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--figure" && i + 1 < argc) {
+            ids.push_back(argv[++i]);
+        } else if (arg == "--threads" && i + 1 < argc) {
+            options.threads =
+                static_cast<unsigned>(std::atoi(argv[++i]));
+        } else if (arg == "--json" && i + 1 < argc) {
+            options.jsonPath = argv[++i];
+        } else if (arg == "--per-layer") {
+            options.perLayer = true;
+        } else if (arg == "--list") {
+            list = true;
+        } else if (arg == "--all") {
+            run_all = true;
+        } else {
+            return usage(argv[0]);
+        }
+    }
+
+    if (list) {
+        for (const auto &figure : all())
+            std::printf("%-18s %s\n", figure.id.c_str(),
+                        figure.title.c_str());
+        return 0;
+    }
+    if (run_all) {
+        for (const auto &figure : all())
+            ids.push_back(figure.id);
+    }
+    if (ids.empty())
+        return usage(argv[0]);
+
+    for (const auto &id : ids) {
+        if (find(id) == nullptr) {
+            std::fprintf(stderr, "unknown figure '%s' (try --list)\n",
+                         id.c_str());
+            return 2;
+        }
+    }
+    return runAll(ids, options);
+}
