@@ -22,9 +22,9 @@ main()
     SweepSpec spec;
     spec.name = "example";
     spec.platforms = {
-        SweepPlatform::bitfusion(AcceleratorConfig::eyerissMatched45(),
+        PlatformSpec::bitfusion(AcceleratorConfig::eyerissMatched45(),
                                  "base"),
-        SweepPlatform::bitfusion(fast, "bw512"),
+        PlatformSpec::bitfusion(fast, "bw512"),
     };
     spec.networks = {
         SweepNetwork::fromBenchmark(zoo::lenet5()),

@@ -4,13 +4,28 @@
 
 #include "src/common/bitutils.h"
 #include "src/common/logging.h"
-#include "src/compiler/tiling.h"
 #include "src/energy/energy_model.h"
 
 namespace bitfusion {
 
 EyerissModel::EyerissModel(const EyerissConfig &cfg) : cfg(cfg)
 {
+}
+
+PlatformInfo
+EyerissModel::describe() const
+{
+    PlatformInfo info;
+    info.name = name();
+    info.kind = "eyeriss";
+    info.compute = std::to_string(cfg.totalPEs()) + " PEs (" +
+                   std::to_string(cfg.peRows) + "x" +
+                   std::to_string(cfg.peCols) + ", 16-bit)";
+    info.freqMHz = cfg.freqMHz;
+    info.onChipBits = cfg.sramBits;
+    info.bwBitsPerCycle = cfg.bwBitsPerCycle;
+    info.batch = cfg.batch;
+    return info;
 }
 
 double
@@ -50,7 +65,8 @@ EyerissModel::utilization(const Layer &layer) const
 }
 
 LayerStats
-EyerissModel::runLayer(const Layer &layer, unsigned out_bits) const
+EyerissModel::runLayer(const Layer &layer, unsigned out_bits,
+                       LayerPhases &phases) const
 {
     LayerStats st;
     st.name = layer.name;
@@ -65,8 +81,7 @@ EyerissModel::runLayer(const Layer &layer, unsigned out_bits) const
 
     // Off-chip traffic at 16-bit operands, with the same tiling and
     // loop-ordering reuse logic the Bit Fusion compiler applies, run
-    // against Eyeriss's single shared buffer (half for weights, a
-    // quarter each for activations in/out).
+    // against Eyeriss's single shared buffer.
     const std::uint64_t w_bits = layer.weightCount() * cfg.operandBits;
     const std::uint64_t i_bits =
         layer.inputCount() * cfg.operandBits * batch;
@@ -76,25 +91,13 @@ EyerissModel::runLayer(const Layer &layer, unsigned out_bits) const
     const std::uint64_t n_total =
         (layer.kind == LayerKind::Conv ? gemm.n : 1) * batch;
 
-    AcceleratorConfig tile_cfg;
-    tile_cfg.rows = cfg.peRows;
-    tile_cfg.cols = cfg.peCols;
-    tile_cfg.wbufBits = cfg.sramBits / 2;
-    tile_cfg.ibufBits = cfg.sramBits / 4;
-    tile_cfg.obufBits = cfg.sramBits / 4;
-    tile_cfg.bwBitsPerCycle = cfg.bwBitsPerCycle;
-    tile_cfg.batch = cfg.batch;
-    const Tiler tiler(tile_cfg);
-    const FusionConfig op16{16, 16, true, true};
-    const Tiling tile =
-        tiler.chooseTiles(gemm.m, gemm.k, n_total, op16, out_bits);
-    const LoopOrder order = tiler.chooseOrder(tile, gemm.m, gemm.k,
-                                              n_total, w_bits, i_bits,
-                                              o_bits);
-    st.dramLoadBits =
-        Tiler::trafficBits(order, tile, gemm.m, gemm.k, n_total, w_bits,
-                           i_bits, 0);
-    st.dramStoreBits = o_bits;
+    const TrafficPlan plan = planDramTraffic(
+        sharedBufferConfig(cfg.peRows, cfg.peCols, cfg.sramBits,
+                           cfg.bwBitsPerCycle, cfg.batch),
+        gemm.m, gemm.k, n_total, w_bits, i_bits, o_bits,
+        FusionConfig{16, 16, true, true}, out_bits);
+    st.dramLoadBits = plan.loadBits;
+    st.dramStoreBits = plan.storeBits;
     st.memCycles =
         divCeil(st.dramLoadBits + st.dramStoreBits, cfg.bwBitsPerCycle);
 
@@ -106,20 +109,24 @@ EyerissModel::runLayer(const Layer &layer, unsigned out_bits) const
     // once plus one extra pass over the inputs.
     st.sramBits = st.dramLoadBits + i_bits + o_bits;
 
-    st.cycles = std::max(st.computeCycles, st.memCycles);
+    phases = LayerPhases::fromBits(st.computeCycles, st.dramLoadBits,
+                                   st.dramStoreBits, cfg.bwBitsPerCycle,
+                                   0);
+
     EnergyModel::applyEyeriss(st, cfg.sramBits);
     return st;
 }
 
 RunStats
-EyerissModel::run(const Network &net) const
+EyerissModel::run(const Network &net, const RunOptions &opts) const
 {
     RunStats rs;
-    rs.platform = "eyeriss-45nm";
+    rs.platform = name();
     rs.network = net.name();
     rs.batch = cfg.batch;
     rs.freqMHz = cfg.freqMHz;
 
+    LayerWalk walk(opts.timing);
     for (const auto &layer : net.layers()) {
         if (!layer.usesMacArray()) {
             // Pooling/activation ride along with the producing
@@ -129,10 +136,11 @@ EyerissModel::run(const Network &net) const
         }
         // Outputs leave quantized to 16 bits after the fused
         // activation path.
-        LayerStats st = runLayer(layer, cfg.operandBits);
-        rs.totalCycles += st.cycles;
-        rs.layers.push_back(std::move(st));
+        LayerPhases phases;
+        LayerStats st = runLayer(layer, cfg.operandBits, phases);
+        walk.add(std::move(st), phases);
     }
+    walk.finish(rs);
     return rs;
 }
 

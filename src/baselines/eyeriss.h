@@ -19,6 +19,7 @@
 #ifndef BITFUSION_BASELINES_EYERISS_H
 #define BITFUSION_BASELINES_EYERISS_H
 
+#include "src/core/platform.h"
 #include "src/core/stats.h"
 #include "src/dnn/network.h"
 
@@ -41,14 +42,21 @@ struct EyerissConfig
     unsigned totalPEs() const { return peRows * peCols; }
 };
 
-/** Analytical row-stationary simulator. */
-class EyerissModel
+/** Analytical row-stationary simulator; the "eyeriss" Platform. */
+class EyerissModel : public Platform
 {
   public:
     explicit EyerissModel(const EyerissConfig &cfg = EyerissConfig{});
 
+    using Platform::run;
+
+    std::string name() const override { return "eyeriss-45nm"; }
+
+    PlatformInfo describe() const override;
+
     /** Run a (regular-precision) network for one batch. */
-    RunStats run(const Network &net) const;
+    RunStats run(const Network &net,
+                 const RunOptions &opts) const override;
 
     /** Mapping utilization of one layer (exposed for tests). */
     double utilization(const Layer &layer) const;
@@ -56,8 +64,8 @@ class EyerissModel
     const EyerissConfig &config() const { return cfg; }
 
   private:
-    LayerStats runLayer(const Layer &layer,
-                        unsigned out_bits) const;
+    LayerStats runLayer(const Layer &layer, unsigned out_bits,
+                        LayerPhases &phases) const;
 
     EyerissConfig cfg;
 };

@@ -45,16 +45,31 @@ GpuModel::GpuModel(GpuSpec spec, unsigned batch)
     BF_ASSERT(batch > 0);
 }
 
+PlatformInfo
+GpuModel::describe() const
+{
+    PlatformInfo info;
+    info.name = _spec.name;
+    info.kind = "gpu";
+    info.compute = std::to_string(static_cast<long long>(
+                       _spec.peakMacsPerSec / 1e9)) +
+                   " Gmac/s roofline";
+    info.freqMHz = 1000.0; // cycles reported as nanoseconds
+    info.batch = batch;
+    return info;
+}
+
 RunStats
-GpuModel::run(const Network &net) const
+GpuModel::run(const Network &net, const RunOptions &opts) const
 {
     RunStats rs;
     rs.platform = _spec.name;
     rs.network = net.name();
     rs.batch = batch;
-    rs.freqMHz = 1000.0; // report cycles as microseconds
-
-    double total_sec = 0.0;
+    // Phase times are in seconds; report them as 1 GHz pseudo-cycles
+    // (nanoseconds).
+    rs.freqMHz = 1000.0;
+    LayerWalk walk(opts.timing, 1e9);
     for (const auto &layer : net.layers()) {
         if (!layer.usesMacArray())
             continue;
@@ -81,18 +96,27 @@ GpuModel::run(const Network &net) const
              static_cast<double>(layer.outputCount()) * batch) *
             _spec.bytesPerElem;
         const double mem_sec = bytes / _spec.memBytesPerSec;
-        const double layer_sec =
-            std::max(compute_sec, mem_sec) + _spec.launchOverheadSec;
 
         LayerStats st;
         st.name = layer.name;
         st.config = _spec.name;
         st.macs = static_cast<std::uint64_t>(macs);
-        st.cycles = static_cast<std::uint64_t>(layer_sec * 1e9);
+        st.computeCycles =
+            static_cast<std::uint64_t>(compute_sec * 1e9);
+        st.memCycles = static_cast<std::uint64_t>(mem_sec * 1e9);
         st.utilization = occupancy;
-        total_sec += layer_sec;
-        rs.layers.push_back(std::move(st));
+
+        // Kernel-launch overhead is the per-layer pipeline fill; the
+        // Overlap model hides all but one launch (CUDA streams).
+        LayerPhases phases;
+        phases.computeUnits = compute_sec;
+        phases.memUnits = mem_sec;
+        phases.fillUnits = _spec.launchOverheadSec;
+        walk.add(std::move(st), phases);
     }
+    const double total_sec = walk.finish(rs);
+    // Re-derive totalCycles with the seed's exact float ordering so
+    // figure output stays bit-identical under Simple timing.
     rs.totalCycles = static_cast<std::uint64_t>(total_sec * rs.freqMHz *
                                                 1e6);
     return rs;

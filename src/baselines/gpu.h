@@ -17,6 +17,7 @@
 
 #include <string>
 
+#include "src/core/platform.h"
 #include "src/core/stats.h"
 #include "src/dnn/network.h"
 
@@ -50,14 +51,21 @@ struct GpuSpec
     static GpuSpec titanXpInt8();
 };
 
-/** Roofline executor for a GPU spec. */
-class GpuModel
+/** Roofline executor for a GPU spec; the "gpu" Platform. */
+class GpuModel : public Platform
 {
   public:
     explicit GpuModel(GpuSpec spec, unsigned batch = kGpuDefaultBatch);
 
+    using Platform::run;
+
+    std::string name() const override { return _spec.name; }
+
+    PlatformInfo describe() const override;
+
     /** Run a network for one batch; returns time-only stats. */
-    RunStats run(const Network &net) const;
+    RunStats run(const Network &net,
+                 const RunOptions &opts) const override;
 
     const GpuSpec &spec() const { return _spec; }
 

@@ -4,13 +4,27 @@
 
 #include "src/common/bitutils.h"
 #include "src/common/logging.h"
-#include "src/compiler/tiling.h"
 #include "src/energy/energy_model.h"
 
 namespace bitfusion {
 
 StripesModel::StripesModel(const StripesConfig &cfg) : cfg(cfg)
 {
+}
+
+PlatformInfo
+StripesModel::describe() const
+{
+    PlatformInfo info;
+    info.name = name();
+    info.kind = "stripes";
+    info.compute = std::to_string(cfg.tiles) + " tiles x " +
+                   std::to_string(cfg.sips) + " SIPs";
+    info.freqMHz = cfg.freqMHz;
+    info.onChipBits = cfg.sramBits * cfg.tiles;
+    info.bwBitsPerCycle = cfg.bwBitsPerCycle;
+    info.batch = cfg.batch;
+    return info;
 }
 
 double
@@ -21,7 +35,8 @@ StripesModel::peakMacsPerCycle(unsigned w_bits) const
 }
 
 LayerStats
-StripesModel::runLayer(const Layer &layer, unsigned out_bits) const
+StripesModel::runLayer(const Layer &layer, unsigned out_bits,
+                       LayerPhases &phases) const
 {
     const unsigned w_bits = std::max(1u, layer.bits.wBits);
     LayerStats st;
@@ -54,24 +69,14 @@ StripesModel::runLayer(const Layer &layer, unsigned out_bits) const
         layer.inputCount() * cfg.actBits * batch;
     const std::uint64_t o_bits =
         layer.outputCount() * out_bits * batch;
-    AcceleratorConfig tile_cfg;
-    tile_cfg.rows = cfg.kParallel();
-    tile_cfg.cols = cfg.mParallel();
-    tile_cfg.wbufBits = cfg.sramBits / 2;
-    tile_cfg.ibufBits = cfg.sramBits / 4;
-    tile_cfg.obufBits = cfg.sramBits / 4;
-    tile_cfg.batch = cfg.batch;
-    const Tiler tiler(tile_cfg);
     // Stripes activations are 16-bit; weights serialize at w_bits.
-    FusionConfig op{16, 16, true, true};
-    const Tiling tile =
-        tiler.chooseTiles(gemm.m, gemm.k, n_total, op, out_bits);
-    const LoopOrder order = tiler.chooseOrder(
-        tile, gemm.m, gemm.k, n_total, w_bits_total, i_bits, o_bits);
-    st.dramLoadBits = Tiler::trafficBits(order, tile, gemm.m, gemm.k,
-                                         n_total, w_bits_total, i_bits,
-                                         0);
-    st.dramStoreBits = o_bits;
+    const TrafficPlan plan = planDramTraffic(
+        sharedBufferConfig(cfg.kParallel(), cfg.mParallel(),
+                           cfg.sramBits, cfg.bwBitsPerCycle, cfg.batch),
+        gemm.m, gemm.k, n_total, w_bits_total, i_bits, o_bits,
+        FusionConfig{16, 16, true, true}, out_bits);
+    st.dramLoadBits = plan.loadBits;
+    st.dramStoreBits = plan.storeBits;
     st.memCycles =
         divCeil(st.dramLoadBits + st.dramStoreBits, cfg.bwBitsPerCycle);
 
@@ -81,27 +86,32 @@ StripesModel::runLayer(const Layer &layer, unsigned out_bits) const
                                          cfg.kParallel() +
                   2 * gemm.m * n_total * 32;
 
-    st.cycles = std::max(st.computeCycles, st.memCycles);
+    phases = LayerPhases::fromBits(st.computeCycles, st.dramLoadBits,
+                                   st.dramStoreBits, cfg.bwBitsPerCycle,
+                                   0);
+
     EnergyModel::applyStripes(st, w_bits, cfg.sramBits);
     return st;
 }
 
 RunStats
-StripesModel::run(const Network &net) const
+StripesModel::run(const Network &net, const RunOptions &opts) const
 {
     RunStats rs;
-    rs.platform = "stripes-45nm";
+    rs.platform = name();
     rs.network = net.name();
     rs.batch = cfg.batch;
     rs.freqMHz = cfg.freqMHz;
 
+    LayerWalk walk(opts.timing);
     for (const auto &layer : net.layers()) {
         if (!layer.usesMacArray())
             continue;
-        LayerStats st = runLayer(layer, cfg.actBits);
-        rs.totalCycles += st.cycles;
-        rs.layers.push_back(std::move(st));
+        LayerPhases phases;
+        LayerStats st = runLayer(layer, cfg.actBits, phases);
+        walk.add(std::move(st), phases);
     }
+    walk.finish(rs);
     return rs;
 }
 

@@ -14,6 +14,7 @@
 #ifndef BITFUSION_BASELINES_STRIPES_H
 #define BITFUSION_BASELINES_STRIPES_H
 
+#include "src/core/platform.h"
 #include "src/core/stats.h"
 #include "src/dnn/network.h"
 
@@ -48,11 +49,17 @@ struct StripesConfig
     unsigned nParallel() const { return windows; }
 };
 
-/** Analytical bit-serial tile simulator. */
-class StripesModel
+/** Analytical bit-serial tile simulator; the "stripes" Platform. */
+class StripesModel : public Platform
 {
   public:
     explicit StripesModel(const StripesConfig &cfg = StripesConfig{});
+
+    using Platform::run;
+
+    std::string name() const override { return "stripes-45nm"; }
+
+    PlatformInfo describe() const override;
 
     /**
      * Run a quantized network for one batch. Weight bitwidths come
@@ -60,7 +67,8 @@ class StripesModel
      * fixed 16-bit width regardless of the model's activation
      * quantization (the defining Stripes limitation).
      */
-    RunStats run(const Network &net) const;
+    RunStats run(const Network &net,
+                 const RunOptions &opts) const override;
 
     /** Peak MACs/cycle at a weight bitwidth (exposed for tests). */
     double peakMacsPerCycle(unsigned w_bits) const;
@@ -68,7 +76,8 @@ class StripesModel
     const StripesConfig &config() const { return cfg; }
 
   private:
-    LayerStats runLayer(const Layer &layer, unsigned out_bits) const;
+    LayerStats runLayer(const Layer &layer, unsigned out_bits,
+                        LayerPhases &phases) const;
 
     StripesConfig cfg;
 };

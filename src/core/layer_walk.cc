@@ -1,0 +1,154 @@
+#include "src/core/layer_walk.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/bitutils.h"
+#include "src/common/logging.h"
+
+namespace bitfusion {
+
+const char *
+toString(TimingModel model)
+{
+    switch (model) {
+      case TimingModel::Simple:
+        return "simple";
+      case TimingModel::Overlap:
+        return "overlap";
+    }
+    BF_PANIC("unknown timing model");
+}
+
+bool
+parseTimingModel(const std::string &name, TimingModel &out)
+{
+    if (name == "simple") {
+        out = TimingModel::Simple;
+        return true;
+    }
+    if (name == "overlap") {
+        out = TimingModel::Overlap;
+        return true;
+    }
+    return false;
+}
+
+LayerPhases
+LayerPhases::fromBits(std::uint64_t computeCycles, std::uint64_t loadBits,
+                      std::uint64_t storeBits,
+                      std::uint64_t bwBitsPerCycle,
+                      std::uint64_t fillCycles)
+{
+    LayerPhases p;
+    p.computeUnits = static_cast<double>(computeCycles);
+    // Combined divCeil, bit-matching the seed models' memCycles.
+    p.memUnits = static_cast<double>(
+        divCeil(loadBits + storeBits, bwBitsPerCycle));
+    p.fillUnits = static_cast<double>(fillCycles);
+    return p;
+}
+
+LayerWalk::LayerWalk(TimingModel model, double cyclesPerUnit)
+    : model_(model), cyclesPerUnit_(cyclesPerUnit)
+{
+    BF_ASSERT(cyclesPerUnit > 0.0);
+}
+
+double
+LayerWalk::simpleUnits(const LayerPhases &phases)
+{
+    return std::max(phases.computeUnits, phases.memUnits) +
+           phases.fillUnits;
+}
+
+void
+LayerWalk::add(LayerStats st, const LayerPhases &phases)
+{
+    layers_.push_back(std::move(st));
+    phases_.push_back(phases);
+}
+
+double
+LayerWalk::finish(RunStats &rs)
+{
+    double total = 0.0;
+
+    if (model_ == TimingModel::Simple) {
+        // Layers serialize; each pays its own pipeline fill.
+        for (std::size_t i = 0; i < layers_.size(); ++i) {
+            const double units = simpleUnits(phases_[i]);
+            layers_[i].cycles =
+                static_cast<std::uint64_t>(units * cyclesPerUnit_);
+            total += units;
+        }
+    } else {
+        // Double-buffered phase pipeline: tile t's compute overlaps
+        // tile t+1's load and tile t-1's drain, including across
+        // layer boundaries, so each channel's exposed time is its
+        // total busy time and the run is bound by the busier
+        // channel. The one thing the pipeline cannot hide is its own
+        // fill: the deepest per-layer prologue/epilogue, charged
+        // exactly once.
+        double computeBusy = 0.0, memBusy = 0.0, prologue = 0.0;
+        for (const auto &p : phases_) {
+            computeBusy += p.computeUnits;
+            memBusy += p.memUnits;
+            prologue = std::max(prologue, p.fillUnits);
+        }
+        const bool computeBound = computeBusy + prologue >= memBusy;
+        total = computeBound ? computeBusy + prologue : memBusy;
+        // Attribute each layer its share of the bottleneck channel
+        // (the prologue rides on the first layer). Per-layer cycles
+        // sum to ~totalCycles; totalCycles is authoritative.
+        for (std::size_t i = 0; i < layers_.size(); ++i) {
+            double units = computeBound ? phases_[i].computeUnits
+                                        : phases_[i].memUnits;
+            if (i == 0 && computeBound)
+                units += prologue;
+            layers_[i].cycles =
+                static_cast<std::uint64_t>(units * cyclesPerUnit_);
+        }
+    }
+
+    rs.layers = std::move(layers_);
+    rs.totalCycles = static_cast<std::uint64_t>(total * cyclesPerUnit_);
+    layers_.clear();
+    phases_.clear();
+    return total;
+}
+
+AcceleratorConfig
+sharedBufferConfig(unsigned rows, unsigned cols, std::uint64_t sramBits,
+                   std::uint64_t bwBitsPerCycle, unsigned batch)
+{
+    AcceleratorConfig cfg;
+    cfg.rows = rows;
+    cfg.cols = cols;
+    cfg.wbufBits = sramBits / 2;
+    cfg.ibufBits = sramBits / 4;
+    cfg.obufBits = sramBits / 4;
+    cfg.bwBitsPerCycle = bwBitsPerCycle;
+    cfg.batch = batch;
+    return cfg;
+}
+
+TrafficPlan
+planDramTraffic(const AcceleratorConfig &buffers, std::uint64_t m,
+                std::uint64_t k, std::uint64_t n_total,
+                std::uint64_t wBits, std::uint64_t iBits,
+                std::uint64_t oBits, const FusionConfig &op,
+                unsigned outBits)
+{
+    const Tiler tiler(buffers);
+    TrafficPlan plan;
+    plan.tile = tiler.chooseTiles(m, k, n_total, op, outBits);
+    plan.order = tiler.chooseOrder(plan.tile, m, k, n_total, wBits,
+                                   iBits, oBits);
+    plan.loadBits = Tiler::trafficBits(plan.order, plan.tile, m, k,
+                                       n_total, wBits, iBits, 0);
+    plan.storeBits = oBits;
+    return plan;
+}
+
+} // namespace bitfusion

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * PlatformSpec -- a declarative, tagged description of one platform
+ * instance -- and the PlatformRegistry that turns specs into live
+ * Platform objects.
+ *
+ * A spec is what sweep grids, figures, and the CLI traffic in: a
+ * config variant (one alternative per backend kind) plus display
+ * name, network-variant choice, and an optional batch override.
+ * The registry maps each variant alternative to a builder and a
+ * CLI parser, so `--platform eyeriss`, `--platform gpu:titan-xp-int8`
+ * and a heterogeneous sweep grid all construct platforms through the
+ * same door. Adding a backend = one config struct, one Platform
+ * subclass, one variant alternative, one registry entry.
+ */
+
+#ifndef BITFUSION_CORE_PLATFORM_REGISTRY_H
+#define BITFUSION_CORE_PLATFORM_REGISTRY_H
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "src/baselines/eyeriss.h"
+#include "src/baselines/gpu.h"
+#include "src/baselines/stripes.h"
+#include "src/core/platform.h"
+#include "src/sim/config.h"
+
+namespace bitfusion {
+
+/**
+ * Declarative description of one platform instance: which backend,
+ * with which configuration, under which display name, running which
+ * network variant, at which batch size.
+ */
+struct PlatformSpec
+{
+    /** One alternative per registered backend kind. */
+    using Config = std::variant<AcceleratorConfig, EyerissConfig,
+                                StripesConfig, GpuSpec>;
+
+    /** Display name; must be unique within a sweep grid. */
+    std::string name;
+    Config config;
+    /** Run the quantized model variant (else the regular one). */
+    bool runsQuantized = true;
+    /** Batch override applied at build time; 0 keeps the config's. */
+    unsigned batch = 0;
+
+    /** Bit Fusion platform; name defaults to the config's name. */
+    static PlatformSpec bitfusion(AcceleratorConfig cfg,
+                                  std::string name = "");
+    /** Eyeriss baseline (16-bit, runs the regular-width model). */
+    static PlatformSpec eyeriss(EyerissConfig cfg = {});
+    /** Stripes baseline (runs the quantized model, per Fig. 18). */
+    static PlatformSpec stripes(StripesConfig cfg = {});
+    /** GPU baseline (runs the regular-width model, per §V-A). */
+    static PlatformSpec gpu(GpuSpec spec);
+
+    /** Registry kind of the held config alternative. */
+    std::string kind() const;
+    /** Batch the built platform runs at (override or config). */
+    unsigned effectiveBatch() const;
+};
+
+/**
+ * Builders and CLI parsers for every platform kind. The four paper
+ * platforms are pre-registered in builtin(); out-of-tree backends
+ * can add() their own entry.
+ */
+class PlatformRegistry
+{
+  public:
+    struct Entry
+    {
+        /** Kind id (the token before ':' in --platform). */
+        std::string kind;
+        /** One-line help: accepted variants after ':'. */
+        std::string help;
+        /** Parse the (possibly empty) variant into a spec. */
+        std::function<PlatformSpec(const std::string &variant)> parse;
+        /** Build a live platform from a spec of this kind. */
+        std::function<std::unique_ptr<Platform>(const PlatformSpec &)>
+            build;
+    };
+
+    /** The registry holding the built-in platform kinds. */
+    static PlatformRegistry &builtin();
+
+    /** Register a kind; fatal on a duplicate id. */
+    void add(Entry entry);
+
+    /** Look up a kind; nullptr when unknown. */
+    const Entry *find(const std::string &kind) const;
+
+    /** Build a platform from a spec (dispatches on the variant). */
+    std::unique_ptr<Platform> build(const PlatformSpec &spec) const;
+
+    /**
+     * Parse a CLI token of the form "kind" or "kind:variant" (e.g.
+     * "eyeriss", "gpu:titan-xp-int8", "bitfusion:16nm"). Fatal on an
+     * unknown kind or variant.
+     */
+    PlatformSpec parse(const std::string &token) const;
+
+    const std::vector<Entry> &entries() const { return entries_; }
+
+  private:
+    std::vector<Entry> entries_;
+};
+
+} // namespace bitfusion
+
+#endif // BITFUSION_CORE_PLATFORM_REGISTRY_H

@@ -40,6 +40,22 @@ paperNetworks()
     return nets;
 }
 
+/**
+ * The one comparison-grid builder: any platform mix over the eight
+ * paper benchmarks. fig13/14 (vs Eyeriss), fig17 (vs the GPUs),
+ * fig18 (vs Stripes), and the --platform CLI all come through here.
+ */
+SweepSpec
+comparisonSpec(const std::string &name,
+               std::vector<PlatformSpec> platforms)
+{
+    SweepSpec spec;
+    spec.name = name;
+    spec.platforms = std::move(platforms);
+    spec.networks = paperNetworks();
+    return spec;
+}
+
 /** Cells of one platform, in grid (network-major) order. */
 std::vector<const SweepCellResult *>
 cellsFor(const SweepResult &result, const std::string &platform)
@@ -193,15 +209,11 @@ reportFig10(const SweepResult &, const FigureOptions &)
 SweepSpec
 specEyerissComparison(const std::string &name)
 {
-    SweepSpec spec;
-    spec.name = name;
-    spec.platforms = {
-        SweepPlatform::bitfusion(AcceleratorConfig::eyerissMatched45(),
+    return comparisonSpec(
+        name,
+        {PlatformSpec::bitfusion(AcceleratorConfig::eyerissMatched45(),
                                  "bitfusion"),
-        SweepPlatform::eyerissBaseline(),
-    };
-    spec.networks = paperNetworks();
-    return spec;
+         PlatformSpec::eyeriss()});
 }
 
 struct PaperRow
@@ -257,7 +269,8 @@ reportFig13(const SweepResult &result, const FigureOptions &options)
                     "(paper §V-B1 table) ===\n\n");
         const RunStats &bfs = result.stats("bitfusion", "AlexNet");
         const RunStats &eys = result.stats("eyeriss", "AlexNet");
-        TextTable pl({"Layer", "Config", "Speedup", "EnergyRed"});
+        TextTable pl({"Layer", "Config", "Speedup", "EnergyRed",
+                      "BF util"});
         for (std::size_t i = 0;
              i < bfs.layers.size() && i < eys.layers.size(); ++i) {
             const auto &lb = bfs.layers[i];
@@ -266,7 +279,8 @@ reportFig13(const SweepResult &result, const FigureOptions &options)
                               static_cast<double>(lb.cycles);
             const double er = le.energy.totalJ() / lb.energy.totalJ();
             pl.addRow({lb.name, lb.config, TextTable::times(sp, 2),
-                       TextTable::times(er, 2)});
+                       TextTable::times(er, 2),
+                       pct(lb.utilization, 1.0)});
         }
         pl.print();
         std::printf("\npaper: conv 8/8 1.67x/6.5x, conv 4/1 6.4x/16.8x, "
@@ -323,7 +337,7 @@ specFig15()
         AcceleratorConfig cfg = AcceleratorConfig::eyerissMatched45();
         cfg.bwBitsPerCycle = w;
         spec.platforms.push_back(
-            SweepPlatform::bitfusion(cfg, "bw" + std::to_string(w)));
+            PlatformSpec::bitfusion(cfg, "bw" + std::to_string(w)));
     }
     spec.networks = paperNetworks();
     return spec;
@@ -373,7 +387,7 @@ specFig16()
 {
     SweepSpec spec;
     spec.name = "fig16";
-    spec.platforms = {SweepPlatform::bitfusion(
+    spec.platforms = {PlatformSpec::bitfusion(
         AcceleratorConfig::eyerissMatched45(), "bitfusion")};
     spec.networks = paperNetworks();
     spec.batches.assign(std::begin(fig16Batches), std::end(fig16Batches));
@@ -420,17 +434,13 @@ reportFig16(const SweepResult &result, const FigureOptions &)
 SweepSpec
 specFig17()
 {
-    SweepSpec spec;
-    spec.name = "fig17";
-    spec.platforms = {
-        SweepPlatform::bitfusion(AcceleratorConfig::gpuScale16(),
+    return comparisonSpec(
+        "fig17",
+        {PlatformSpec::bitfusion(AcceleratorConfig::gpuScale16(),
                                  "bitfusion-16nm"),
-        SweepPlatform::gpuBaseline(GpuSpec::tegraX2Fp32()),
-        SweepPlatform::gpuBaseline(GpuSpec::titanXpFp32()),
-        SweepPlatform::gpuBaseline(GpuSpec::titanXpInt8()),
-    };
-    spec.networks = paperNetworks();
-    return spec;
+         PlatformSpec::gpu(GpuSpec::tegraX2Fp32()),
+         PlatformSpec::gpu(GpuSpec::titanXpFp32()),
+         PlatformSpec::gpu(GpuSpec::titanXpInt8())});
 }
 
 void
@@ -490,17 +500,13 @@ const PaperRow paperFig18[] = {
 SweepSpec
 specFig18()
 {
-    SweepSpec spec;
-    spec.name = "fig18";
-    spec.platforms = {
-        SweepPlatform::bitfusion(AcceleratorConfig::stripesTileMatched45(),
+    return comparisonSpec(
+        "fig18",
+        {PlatformSpec::bitfusion(AcceleratorConfig::stripesTileMatched45(),
                                  "bitfusion"),
-        // Both platforms run the same quantized models (Stripes also
-        // benefits from the reduced weight bitwidths).
-        SweepPlatform::stripesBaseline(),
-    };
-    spec.networks = paperNetworks();
-    return spec;
+         // Both platforms run the same quantized models (Stripes also
+         // benefits from the reduced weight bitwidths).
+         PlatformSpec::stripes()});
 }
 
 void
@@ -697,7 +703,7 @@ specAblationCodeopt()
         AcceleratorConfig cfg = AcceleratorConfig::eyerissMatched45();
         cfg.loopOrdering = v.loopOrdering;
         cfg.layerFusion = v.layerFusion;
-        spec.platforms.push_back(SweepPlatform::bitfusion(cfg, v.name));
+        spec.platforms.push_back(PlatformSpec::bitfusion(cfg, v.name));
     }
     spec.networks = paperNetworks();
     return spec;
@@ -750,7 +756,7 @@ specAblationBitwidth()
 {
     SweepSpec spec;
     spec.name = "ablation-bitwidth";
-    spec.platforms = {SweepPlatform::bitfusion(
+    spec.platforms = {PlatformSpec::bitfusion(
         AcceleratorConfig::eyerissMatched45(), "bitfusion")};
     const auto bench = zoo::vgg7();
     for (unsigned w : ablationWidths) {
@@ -812,7 +818,7 @@ specDse()
             cfg.rows = g.rows;
             cfg.cols = g.cols;
             cfg.bwBitsPerCycle = bw;
-            spec.platforms.push_back(SweepPlatform::bitfusion(
+            spec.platforms.push_back(PlatformSpec::bitfusion(
                 cfg, std::to_string(g.rows) + "x" +
                          std::to_string(g.cols) + "-bw" +
                          std::to_string(bw)));
@@ -928,12 +934,64 @@ find(const std::string &id)
 }
 
 int
+runPlatforms(const std::vector<std::string> &tokens, unsigned batch,
+             const FigureOptions &options)
+{
+    const PlatformRegistry &registry = PlatformRegistry::builtin();
+    std::vector<PlatformSpec> platforms;
+    for (const auto &token : tokens) {
+        PlatformSpec spec = registry.parse(token);
+        if (batch != 0)
+            spec.batch = batch;
+        platforms.push_back(std::move(spec));
+    }
+    SweepSpec spec = comparisonSpec("custom", std::move(platforms));
+
+    SweepRunner runner({options.threads, options.timing});
+    const SweepResult result = runner.run(spec);
+
+    std::printf("=== Custom platform comparison (timing=%s) ===\n\n",
+                toString(options.timing));
+    std::vector<std::string> headers = {"Benchmark"};
+    for (const auto &p : spec.platforms)
+        headers.push_back(p.name);
+    TextTable lat(headers);
+    TextTable energy(headers);
+    for (const auto &net : spec.networks) {
+        std::vector<std::string> lrow = {net.name};
+        std::vector<std::string> erow = {net.name};
+        for (const auto &p : spec.platforms) {
+            const RunStats &rs = result.stats(p.name, net.name);
+            lrow.push_back(
+                TextTable::num(rs.secondsPerSample() * 1e6, 2));
+            const double uj = rs.energyPerSampleJ() * 1e6;
+            // The GPU roofline is time-only; don't print 0 uJ.
+            erow.push_back(uj > 0.0 ? TextTable::num(uj, 2) : "-");
+        }
+        lat.addRow(lrow);
+        energy.addRow(erow);
+    }
+    std::printf("latency (us/sample):\n\n");
+    lat.print();
+    std::printf("\nenergy (uJ/sample):\n\n");
+    energy.print();
+
+    if (!options.jsonPath.empty()) {
+        std::ofstream out(options.jsonPath);
+        if (!out)
+            BF_FATAL("cannot write JSON to '", options.jsonPath, "'");
+        out << result.json(options.perLayer) << "\n";
+    }
+    return 0;
+}
+
+int
 run(const Figure &figure, const FigureOptions &options)
 {
     const SweepSpec spec = figure.spec();
     SweepResult result;
     if (!spec.platforms.empty()) {
-        SweepRunner runner({options.threads});
+        SweepRunner runner({options.threads, options.timing});
         result = runner.run(spec);
     }
     figure.report(result, options);
@@ -986,10 +1044,17 @@ benchMain(const std::vector<std::string> &ids, int argc, char **argv)
             options.jsonPath = argv[++i];
         } else if (arg == "--per-layer") {
             options.perLayer = true;
+        } else if (arg == "--timing" && i + 1 < argc) {
+            if (!parseTimingModel(argv[++i], options.timing)) {
+                std::fprintf(stderr,
+                             "unknown --timing '%s' (simple|overlap)\n",
+                             argv[i]);
+                return 2;
+            }
         } else {
             std::fprintf(stderr,
                          "usage: %s [--threads N] [--json PATH] "
-                         "[--per-layer]\n",
+                         "[--per-layer] [--timing simple|overlap]\n",
                          argv[0]);
             return 2;
         }

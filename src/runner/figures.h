@@ -30,6 +30,12 @@ struct FigureOptions
     std::string jsonPath;
     /** Include per-layer detail (fig13 table, JSON layers). */
     bool perLayer = false;
+    /**
+     * Phase-time composition (core/layer_walk.h). Simple is the
+     * seed-equivalent default every paper figure is calibrated
+     * against; Overlap enables the cross-tile/cross-layer pipeline.
+     */
+    TimingModel timing = TimingModel::Simple;
 };
 
 /** One reproducible figure or table. */
@@ -59,6 +65,15 @@ const Figure *find(const std::string &id);
 int run(const Figure &figure, const FigureOptions &options);
 
 /**
+ * Run an ad-hoc heterogeneous sweep: the platforms named by
+ * --platform tokens (see PlatformRegistry::parse) over the eight
+ * paper benchmarks, reported as latency/energy-per-sample tables.
+ * @p batch overrides every platform's batch when nonzero.
+ */
+int runPlatforms(const std::vector<std::string> &tokens, unsigned batch,
+                 const FigureOptions &options);
+
+/**
  * Run several figures in order with a blank line between reports;
  * a --json path is suffixed ".<id>.json" per figure when more than
  * one runs so the dumps don't overwrite each other. Fatals on an
@@ -69,8 +84,8 @@ int runAll(const std::vector<std::string> &ids,
 
 /**
  * Shared main() for the bench binaries: parse --threads/--json/
- * --per-layer, then run the named figure. Returns the process exit
- * code.
+ * --per-layer/--timing, then run the named figure. Returns the
+ * process exit code.
  */
 int benchMain(const std::string &id, int argc, char **argv);
 

@@ -1,6 +1,6 @@
 /**
  * @file
- * Sweep grid expansion, the compiled-network cache, and the
+ * Sweep grid expansion, the compiled-artifact cache, and the
  * fixed-size thread pool that executes the cells.
  */
 
@@ -16,9 +16,7 @@
 
 #include "src/common/json.h"
 #include "src/common/logging.h"
-#include "src/compiler/codegen.h"
 #include "src/core/report.h"
-#include "src/sim/simulator.h"
 
 namespace bitfusion {
 
@@ -74,26 +72,9 @@ parallelFor(std::size_t count, unsigned threads, Fn &&fn)
 
 /** The network variant a platform executes. */
 const Network &
-variantFor(const SweepPlatform &platform, const SweepNetwork &net)
+variantFor(const PlatformSpec &platform, const SweepNetwork &net)
 {
     return platform.runsQuantized ? net.quantized : net.baseline;
-}
-
-/** Default batch of a platform when the spec gives no override. */
-unsigned
-defaultBatch(const SweepPlatform &platform)
-{
-    switch (platform.kind) {
-      case PlatformKind::BitFusion:
-        return platform.bf.batch;
-      case PlatformKind::Eyeriss:
-        return platform.eyeriss.batch;
-      case PlatformKind::Stripes:
-        return platform.stripes.batch;
-      case PlatformKind::Gpu:
-        return kGpuDefaultBatch; // GpuSpec carries no batch field.
-    }
-    BF_PANIC("unknown platform kind");
 }
 
 void
@@ -111,8 +92,8 @@ validateSpec(const SweepSpec &spec)
         if (!seen.insert(p.name).second)
             BF_FATAL("sweep '", spec.name, "' has duplicate platform '",
                      p.name, "'");
-        if (p.kind == PlatformKind::BitFusion)
-            p.bf.validate();
+        if (const auto *bf = std::get_if<AcceleratorConfig>(&p.config))
+            bf->validate();
     }
     seen.clear();
     for (const auto &n : spec.networks) {
@@ -130,51 +111,7 @@ validateSpec(const SweepSpec &spec)
 
 } // namespace
 
-// ------------------------------------------------------------ factories
-
-SweepPlatform
-SweepPlatform::bitfusion(AcceleratorConfig cfg, std::string name)
-{
-    SweepPlatform p;
-    p.kind = PlatformKind::BitFusion;
-    p.name = name.empty() ? cfg.name : std::move(name);
-    p.runsQuantized = true;
-    p.bf = std::move(cfg);
-    return p;
-}
-
-SweepPlatform
-SweepPlatform::eyerissBaseline(EyerissConfig cfg)
-{
-    SweepPlatform p;
-    p.kind = PlatformKind::Eyeriss;
-    p.name = "eyeriss";
-    p.runsQuantized = false;
-    p.eyeriss = cfg;
-    return p;
-}
-
-SweepPlatform
-SweepPlatform::stripesBaseline(StripesConfig cfg)
-{
-    SweepPlatform p;
-    p.kind = PlatformKind::Stripes;
-    p.name = "stripes";
-    p.runsQuantized = true;
-    p.stripes = cfg;
-    return p;
-}
-
-SweepPlatform
-SweepPlatform::gpuBaseline(GpuSpec spec)
-{
-    SweepPlatform p;
-    p.kind = PlatformKind::Gpu;
-    p.name = spec.name;
-    p.runsQuantized = false;
-    p.gpu = std::move(spec);
-    return p;
-}
+// ------------------------------------------------------------ networks
 
 SweepNetwork
 SweepNetwork::fromBenchmark(const zoo::Benchmark &bench)
@@ -235,6 +172,7 @@ SweepResult::json(bool per_layer) const
 {
     json::Value doc = json::Value::object();
     doc.set("sweep", name_)
+        .set("timing", toString(timing_))
         .set("threads", threads_)
         .set("compiles", static_cast<std::uint64_t>(compiles_))
         .set("cache_hits", static_cast<std::uint64_t>(cacheHits_));
@@ -293,44 +231,66 @@ SweepRunner::run(const SweepSpec &spec) const
 {
     const std::vector<SweepCell> cells = expand(spec);
     const unsigned threads = effectiveThreads(cells.size());
+    const PlatformRegistry &registry = PlatformRegistry::builtin();
+
+    // Build one platform per distinct (platform, effective batch)
+    // pair -- batch is applied at build time, and cells differing
+    // only in network share the instance (platforms are const and
+    // thread-safe once built).
+    std::vector<std::unique_ptr<Platform>> built;
+    std::unordered_map<std::string, std::size_t> builtIndex;
+    std::vector<const Platform *> platforms(cells.size(), nullptr);
+    std::vector<unsigned> cellBatch(cells.size(), 0);
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        PlatformSpec cellSpec = spec.platforms[cells[i].platformIndex];
+        if (cells[i].batch != 0)
+            cellSpec.batch = cells[i].batch;
+        cellBatch[i] = cellSpec.effectiveBatch();
+        const std::string key =
+            std::to_string(cells[i].platformIndex) + "|" +
+            std::to_string(cellBatch[i]);
+        auto [it, inserted] = builtIndex.emplace(key, built.size());
+        if (inserted)
+            built.push_back(registry.build(cellSpec));
+        platforms[i] = built[it->second].get();
+    }
 
     // Deduplicate the compilation work: one job per distinct
-    // (compile-relevant config, network variant, batch) triple.
+    // (compile key, network variant) pair. Platforms with an empty
+    // key (the baselines) have no compile step.
     struct CompileJob
     {
-        AcceleratorConfig cfg;
+        const Platform *platform = nullptr;
         const Network *net = nullptr;
     };
     std::vector<CompileJob> jobs;
     std::unordered_map<std::string, std::size_t> keyToJob;
     std::vector<std::size_t> cellJob(cells.size(), SIZE_MAX);
-    std::size_t bitfusionCells = 0;
+    std::size_t compiledCells = 0;
 
     for (std::size_t i = 0; i < cells.size(); ++i) {
         const SweepCell &cell = cells[i];
-        const SweepPlatform &platform = spec.platforms[cell.platformIndex];
-        if (platform.kind != PlatformKind::BitFusion)
+        const PlatformSpec &platform = spec.platforms[cell.platformIndex];
+        const std::string platformKey = platforms[i]->compileKey();
+        if (platformKey.empty())
             continue;
-        ++bitfusionCells;
-        AcceleratorConfig cfg = platform.bf;
-        if (cell.batch != 0)
-            cfg.batch = cell.batch;
+        ++compiledCells;
         const std::string key =
-            cfg.compileKey() + "|" + std::to_string(cell.networkIndex) +
+            platformKey + "|" + std::to_string(cell.networkIndex) +
             (platform.runsQuantized ? "|q" : "|b");
         auto [it, inserted] = keyToJob.emplace(key, jobs.size());
         if (inserted) {
             jobs.push_back(
-                {std::move(cfg),
+                {platforms[i],
                  &variantFor(platform, spec.networks[cell.networkIndex])});
         }
         cellJob[i] = it->second;
     }
 
-    // Phase 1: populate the compiled-network cache in parallel.
-    std::vector<CompiledNetwork> compiled(jobs.size());
+    // Phase 1: populate the compiled-artifact cache in parallel.
+    std::vector<PlatformArtifactPtr> compiled(jobs.size());
     parallelFor(jobs.size(), threads, [&](std::size_t j) {
-        compiled[j] = Compiler(jobs[j].cfg).compile(*jobs[j].net);
+        compiled[j] = jobs[j].platform->compile(*jobs[j].net);
     });
 
     // Phase 2: simulate every cell. Workers write disjoint slots of
@@ -339,46 +299,28 @@ SweepRunner::run(const SweepSpec &spec) const
     SweepResult result;
     result.name_ = spec.name;
     result.compiles_ = jobs.size();
-    result.cacheHits_ = bitfusionCells - jobs.size();
+    result.cacheHits_ = compiledCells - jobs.size();
     result.threads_ = threads;
+    result.timing_ = opts.timing;
     result.cells_.resize(cells.size());
 
     parallelFor(cells.size(), threads, [&](std::size_t i) {
         const SweepCell &cell = cells[i];
-        const SweepPlatform &platform = spec.platforms[cell.platformIndex];
+        const PlatformSpec &platform = spec.platforms[cell.platformIndex];
         const SweepNetwork &net = spec.networks[cell.networkIndex];
 
         SweepCellResult r;
         r.cell = cell;
         r.platform = platform.name;
         r.network = net.name;
-        r.batch = cell.batch != 0 ? cell.batch : defaultBatch(platform);
+        r.batch = cellBatch[i];
 
-        switch (platform.kind) {
-          case PlatformKind::BitFusion: {
-            AcceleratorConfig cfg = platform.bf;
-            cfg.batch = r.batch;
-            r.stats = Simulator(cfg).run(compiled[cellJob[i]]);
-            break;
-          }
-          case PlatformKind::Eyeriss: {
-            EyerissConfig cfg = platform.eyeriss;
-            cfg.batch = r.batch;
-            r.stats = EyerissModel(cfg).run(variantFor(platform, net));
-            break;
-          }
-          case PlatformKind::Stripes: {
-            StripesConfig cfg = platform.stripes;
-            cfg.batch = r.batch;
-            r.stats = StripesModel(cfg).run(variantFor(platform, net));
-            break;
-          }
-          case PlatformKind::Gpu: {
-            r.stats = GpuModel(platform.gpu, r.batch)
-                          .run(variantFor(platform, net));
-            break;
-          }
-        }
+        RunOptions runOpts;
+        runOpts.timing = opts.timing;
+        if (cellJob[i] != SIZE_MAX)
+            runOpts.artifact = compiled[cellJob[i]].get();
+        r.stats =
+            platforms[i]->run(variantFor(platform, net), runOpts);
         result.cells_[i] = std::move(r);
     });
 

@@ -2,17 +2,18 @@
  * @file
  * Parallel sweep engine for paper-figure reproduction.
  *
- * A sweep is the cartesian product of platforms (Bit Fusion
- * configurations and/or baseline models) x networks x batch sizes.
- * The runner expands the grid, compiles each distinct
- * (configuration, network, batch) triple exactly once into a shared
- * CompiledNetwork cache (keyed by AcceleratorConfig::compileKey()),
- * and fans the simulations out across a fixed-size thread pool.
+ * A sweep is the cartesian product of platforms (PlatformSpecs of
+ * any registered kind) x networks x batch sizes. The runner expands
+ * the grid, builds each cell's platform through the
+ * PlatformRegistry, compiles each distinct (compile key, network,
+ * batch) triple exactly once into a shared artifact cache (keyed by
+ * Platform::compileKey()), and fans the simulations out across a
+ * fixed-size thread pool.
  *
  * Determinism: results are stored in grid order (platform-major,
  * then network, then batch), each worker writes only its own cell,
- * and every model run is a pure function of its inputs (see the
- * thread-safety notes on Simulator), so the result table is
+ * and every platform run is a pure function of its inputs (see the
+ * thread-safety contract on Platform), so the result table is
  * bit-identical regardless of the thread count.
  */
 
@@ -23,53 +24,12 @@
 #include <string>
 #include <vector>
 
-#include "src/baselines/eyeriss.h"
-#include "src/baselines/gpu.h"
-#include "src/baselines/stripes.h"
+#include "src/core/platform_registry.h"
 #include "src/core/stats.h"
 #include "src/dnn/model_zoo.h"
 #include "src/dnn/network.h"
-#include "src/sim/config.h"
 
 namespace bitfusion {
-
-/** Which simulator executes a sweep platform. */
-enum class PlatformKind
-{
-    BitFusion,
-    Eyeriss,
-    Stripes,
-    Gpu
-};
-
-/**
- * One platform column of a sweep grid: a Bit Fusion accelerator
- * configuration or one of the baseline models, plus the choice of
- * which network variant (quantized or regular-width) it executes.
- */
-struct SweepPlatform
-{
-    PlatformKind kind = PlatformKind::BitFusion;
-    /** Display name; must be unique within a spec. */
-    std::string name;
-    /** Run the quantized model variant (else the regular one). */
-    bool runsQuantized = true;
-
-    AcceleratorConfig bf;
-    EyerissConfig eyeriss;
-    StripesConfig stripes;
-    GpuSpec gpu;
-
-    /** Bit Fusion platform; name defaults to the config's name. */
-    static SweepPlatform bitfusion(AcceleratorConfig cfg,
-                                   std::string name = "");
-    /** Eyeriss baseline (16-bit, runs the regular-width model). */
-    static SweepPlatform eyerissBaseline(EyerissConfig cfg = {});
-    /** Stripes baseline (runs the quantized model, per Fig. 18). */
-    static SweepPlatform stripesBaseline(StripesConfig cfg = {});
-    /** GPU baseline (runs the regular-width model, per §V-A). */
-    static SweepPlatform gpuBaseline(GpuSpec spec);
-};
 
 /**
  * One network row of a sweep grid: both model variants of a paper
@@ -91,7 +51,7 @@ struct SweepSpec
 {
     /** Sweep identifier (e.g. "fig13"); lands in the JSON output. */
     std::string name;
-    std::vector<SweepPlatform> platforms;
+    std::vector<PlatformSpec> platforms;
     std::vector<SweepNetwork> networks;
     /**
      * Batch-size overrides. Empty means one cell per
@@ -147,10 +107,12 @@ class SweepResult
 
     /** Networks compiled (cache misses) during the sweep. */
     std::size_t compileCount() const { return compiles_; }
-    /** Bit Fusion cells served from the compiled-network cache. */
+    /** Cells served from the compiled-artifact cache. */
     std::size_t cacheHits() const { return cacheHits_; }
     /** Worker threads the sweep ran with. */
     unsigned threadsUsed() const { return threads_; }
+    /** Timing model the sweep ran under. */
+    TimingModel timing() const { return timing_; }
 
     /**
      * Machine-readable dump: sweep metadata plus one record per cell
@@ -167,6 +129,7 @@ class SweepResult
     std::size_t compiles_ = 0;
     std::size_t cacheHits_ = 0;
     unsigned threads_ = 1;
+    TimingModel timing_ = TimingModel::Simple;
 };
 
 /** Runner options. */
@@ -174,6 +137,8 @@ struct SweepOptions
 {
     /** Worker threads; 0 = hardware concurrency. */
     unsigned threads = 0;
+    /** Phase-time composition used for every cell. */
+    TimingModel timing = TimingModel::Simple;
 };
 
 /** Expands sweep grids and executes them on a thread pool. */

@@ -4,10 +4,25 @@
 
 #include "src/common/bitutils.h"
 #include "src/common/logging.h"
+#include "src/compiler/codegen.h"
 #include "src/compiler/tiling.h"
 #include "src/energy/energy_model.h"
 
 namespace bitfusion {
+
+namespace {
+
+/** Artifact wrapper around the compiler output. */
+struct CompiledNetworkArtifact : PlatformArtifact
+{
+    explicit CompiledNetworkArtifact(CompiledNetwork net)
+        : net(std::move(net))
+    {
+    }
+    CompiledNetwork net;
+};
+
+} // namespace
 
 Simulator::Simulator(const AcceleratorConfig &cfg)
     : cfg(cfg), array(this->cfg)
@@ -15,8 +30,38 @@ Simulator::Simulator(const AcceleratorConfig &cfg)
     this->cfg.validate();
 }
 
+PlatformInfo
+Simulator::describe() const
+{
+    PlatformInfo info;
+    info.name = cfg.name;
+    info.kind = "bitfusion";
+    info.compute = std::to_string(cfg.fusionUnits()) + " FUs (" +
+                   std::to_string(cfg.fusionUnits() * cfg.bricksPerUnit) +
+                   " BitBricks)";
+    info.freqMHz = cfg.freqMHz;
+    info.onChipBits = cfg.onChipBits();
+    info.bwBitsPerCycle = cfg.bwBitsPerCycle;
+    info.batch = cfg.batch;
+    return info;
+}
+
+std::string
+Simulator::compileKey() const
+{
+    return cfg.compileKey();
+}
+
+PlatformArtifactPtr
+Simulator::compile(const Network &net) const
+{
+    return std::make_shared<CompiledNetworkArtifact>(
+        Compiler(cfg).compile(net));
+}
+
 LayerStats
-Simulator::runMacLayer(const LayerSchedule &sched) const
+Simulator::runMacLayer(const LayerSchedule &sched,
+                       LayerPhases &phases) const
 {
     const Layer &layer = sched.layer;
     const FusionConfig &bits = layer.bits;
@@ -62,9 +107,12 @@ Simulator::runMacLayer(const LayerSchedule &sched) const
     // OBUF: accumulated partial written and drained once per output.
     st.sramBits += 2 * sched.m * n_total * 32;
 
-    // Double buffering overlaps transfers with compute.
-    st.cycles = std::max(st.computeCycles, st.memCycles) +
-                cfg.rows + cfg.cols;
+    // Phases: off-chip transfers double-buffer against compute at
+    // streaming-tile granularity; the systolic array pays one
+    // rows + cols pipeline fill.
+    phases = LayerPhases::fromBits(st.computeCycles, st.dramLoadBits,
+                                   st.dramStoreBits, cfg.bwBitsPerCycle,
+                                   cfg.rows + cfg.cols);
 
     EnergyModel::applyBitFusion(st, bits.aBits, bits.wBits,
                                 cfg.onChipBits(), cfg.tech);
@@ -72,7 +120,8 @@ Simulator::runMacLayer(const LayerSchedule &sched) const
 }
 
 LayerStats
-Simulator::runAuxLayer(const LayerSchedule &sched) const
+Simulator::runAuxLayer(const LayerSchedule &sched,
+                       LayerPhases &phases) const
 {
     const Layer &layer = sched.layer;
     LayerStats st;
@@ -82,8 +131,9 @@ Simulator::runAuxLayer(const LayerSchedule &sched) const
     const std::uint64_t batch = cfg.batch;
     const std::uint64_t ops = layer.auxOpsPerSample() * batch;
     // One pooling and one activation unit per column (Fig. 3).
-    st.computeCycles =
-        divCeil(ops, static_cast<std::uint64_t>(cfg.cols) * cfg.tiles);
+    const std::uint64_t auxUnits =
+        static_cast<std::uint64_t>(cfg.cols) * cfg.tiles;
+    st.computeCycles = divCeil(ops, auxUnits);
 
     const std::uint64_t in_bits =
         layer.inputCount() * layer.bits.aBits * batch;
@@ -94,8 +144,17 @@ Simulator::runAuxLayer(const LayerSchedule &sched) const
     st.memCycles =
         divCeil(st.dramLoadBits + st.dramStoreBits, cfg.bwBitsPerCycle);
     st.sramBits = in_bits + out_bits;
-    st.cycles = std::max(st.computeCycles, st.memCycles);
-    st.utilization = 0.0;
+    // Aux units process one op per unit per cycle; utilization is
+    // the issued ops over that capacity during the busy cycles.
+    st.utilization =
+        st.computeCycles == 0
+            ? 0.0
+            : static_cast<double>(ops) /
+                  static_cast<double>(st.computeCycles * auxUnits);
+
+    phases = LayerPhases::fromBits(st.computeCycles, st.dramLoadBits,
+                                   st.dramStoreBits, cfg.bwBitsPerCycle,
+                                   0);
 
     EnergyModel::applyBitFusion(st, layer.bits.aBits, layer.bits.wBits,
                                 cfg.onChipBits(), cfg.tech);
@@ -103,13 +162,24 @@ Simulator::runAuxLayer(const LayerSchedule &sched) const
 }
 
 LayerStats
+Simulator::statsFor(const LayerSchedule &sched, LayerPhases &phases) const
+{
+    return sched.usesMacArray ? runMacLayer(sched, phases)
+                              : runAuxLayer(sched, phases);
+}
+
+LayerStats
 Simulator::runSchedule(const LayerSchedule &sched) const
 {
-    return sched.usesMacArray ? runMacLayer(sched) : runAuxLayer(sched);
+    LayerPhases phases;
+    LayerStats st = statsFor(sched, phases);
+    st.cycles =
+        static_cast<std::uint64_t>(LayerWalk::simpleUnits(phases));
+    return st;
 }
 
 RunStats
-Simulator::run(const CompiledNetwork &net) const
+Simulator::run(const CompiledNetwork &net, TimingModel timing) const
 {
     RunStats rs;
     rs.platform = cfg.name;
@@ -119,12 +189,27 @@ Simulator::run(const CompiledNetwork &net) const
 
     // Layers fused into a preceding MAC block were absorbed by the
     // compiler and do not appear as separate schedules.
+    LayerWalk walk(timing);
     for (const auto &sched : net.schedules) {
-        LayerStats st = runSchedule(sched);
-        rs.totalCycles += st.cycles;
-        rs.layers.push_back(std::move(st));
+        LayerPhases phases;
+        LayerStats st = statsFor(sched, phases);
+        walk.add(std::move(st), phases);
     }
+    walk.finish(rs);
     return rs;
+}
+
+RunStats
+Simulator::run(const Network &net, const RunOptions &opts) const
+{
+    if (opts.artifact != nullptr) {
+        const auto *compiled =
+            dynamic_cast<const CompiledNetworkArtifact *>(opts.artifact);
+        BF_ASSERT(compiled != nullptr,
+                  "artifact is not a compiled network");
+        return run(compiled->net, opts.timing);
+    }
+    return run(Compiler(cfg).compile(net), opts.timing);
 }
 
 } // namespace bitfusion

@@ -31,11 +31,11 @@ tinySpec(std::vector<unsigned> batches = {})
     SweepSpec spec;
     spec.name = "tiny";
     spec.platforms = {
-        SweepPlatform::bitfusion(AcceleratorConfig::eyerissMatched45(),
+        PlatformSpec::bitfusion(AcceleratorConfig::eyerissMatched45(),
                                  "bf-a"),
-        SweepPlatform::bitfusion(AcceleratorConfig::stripesTileMatched45(),
+        PlatformSpec::bitfusion(AcceleratorConfig::stripesTileMatched45(),
                                  "bf-b"),
-        SweepPlatform::eyerissBaseline(),
+        PlatformSpec::eyeriss(),
     };
     spec.networks = {
         SweepNetwork::uniform("net64", tinyNet("net64", 64)),
@@ -85,8 +85,8 @@ TEST(SweepCache, OneCompilePerDistinctConfigNetworkBatch)
     AcceleratorConfig b = a;
     b.bwBitsPerCycle = 512;
     b.freqMHz = 980.0;
-    spec.platforms = {SweepPlatform::bitfusion(a, "slow"),
-                      SweepPlatform::bitfusion(b, "fast")};
+    spec.platforms = {PlatformSpec::bitfusion(a, "slow"),
+                      PlatformSpec::bitfusion(b, "fast")};
     spec.networks = {SweepNetwork::uniform("net64", tinyNet("net64", 64))};
 
     const SweepResult result = SweepRunner({1}).run(spec);
@@ -101,7 +101,7 @@ TEST(SweepCache, DistinctBatchesCompileSeparately)
     // batch size is its own cache entry.
     SweepSpec spec;
     spec.name = "cache-batch";
-    spec.platforms = {SweepPlatform::bitfusion(
+    spec.platforms = {PlatformSpec::bitfusion(
         AcceleratorConfig::eyerissMatched45(), "bf")};
     spec.networks = {SweepNetwork::uniform("net64", tinyNet("net64", 64))};
     spec.batches = {1, 4, 16};
@@ -124,9 +124,9 @@ TEST(SweepCache, GeometryChangeSharesCompiledNetwork)
     b.cols = 32;
     AcceleratorConfig c = a;
     c.wbufBits *= 2;
-    spec.platforms = {SweepPlatform::bitfusion(a, "wide"),
-                      SweepPlatform::bitfusion(b, "tall"),
-                      SweepPlatform::bitfusion(c, "bigbuf")};
+    spec.platforms = {PlatformSpec::bitfusion(a, "wide"),
+                      PlatformSpec::bitfusion(b, "tall"),
+                      PlatformSpec::bitfusion(c, "bigbuf")};
     spec.networks = {SweepNetwork::uniform("net64", tinyNet("net64", 64))};
 
     const SweepResult result = SweepRunner({1}).run(spec);

@@ -4,12 +4,17 @@
  *
  *   bitfusion_sweep --list
  *   bitfusion_sweep --figure fig13 [--threads N] [--json PATH]
- *                   [--per-layer]
+ *                   [--per-layer] [--timing simple|overlap]
  *   bitfusion_sweep --all [--threads N]
+ *   bitfusion_sweep --platform eyeriss --platform bitfusion
+ *                   [--batch N] [--timing ...]
  *
  * Figures run on the parallel sweep engine; output is the same
  * ASCII table the matching bench binary prints, plus optional
- * machine-readable JSON.
+ * machine-readable JSON. --platform runs an ad-hoc heterogeneous
+ * comparison of any registered platforms (kind[:variant], e.g.
+ * eyeriss, stripes, gpu:titan-xp-int8, bitfusion:16nm) over the
+ * eight paper benchmarks.
  */
 
 #include <cstdio>
@@ -17,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "src/core/platform_registry.h"
 #include "src/runner/figures.h"
 
 namespace {
@@ -26,10 +32,11 @@ usage(const char *argv0)
 {
     std::fprintf(stderr,
                  "usage: %s --figure ID [--threads N] [--json PATH] "
-                 "[--per-layer]\n"
+                 "[--per-layer] [--timing simple|overlap]\n"
                  "       %s --all [--threads N]\n"
+                 "       %s --platform KIND[:VARIANT] [...] [--batch N]\n"
                  "       %s --list\n",
-                 argv0, argv0, argv0);
+                 argv0, argv0, argv0, argv0);
     return 2;
 }
 
@@ -38,16 +45,32 @@ usage(const char *argv0)
 int
 main(int argc, char **argv)
 {
+    using namespace bitfusion;
     using namespace bitfusion::figures;
 
     std::vector<std::string> ids;
+    std::vector<std::string> platforms;
     FigureOptions options;
+    unsigned batch = 0;
     bool list = false, run_all = false;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--figure" && i + 1 < argc) {
             ids.push_back(argv[++i]);
+        } else if (arg == "--platform" && i + 1 < argc) {
+            platforms.push_back(argv[++i]);
+        } else if (arg == "--batch" && i + 1 < argc) {
+            char *end = nullptr;
+            const long value = std::strtol(argv[++i], &end, 10);
+            if (end == argv[i] || *end != '\0' || value <= 0) {
+                std::fprintf(stderr,
+                             "--batch needs a positive integer, got "
+                             "'%s'\n",
+                             argv[i]);
+                return 2;
+            }
+            batch = static_cast<unsigned>(value);
         } else if (arg == "--threads" && i + 1 < argc) {
             options.threads =
                 static_cast<unsigned>(std::atoi(argv[++i]));
@@ -55,6 +78,13 @@ main(int argc, char **argv)
             options.jsonPath = argv[++i];
         } else if (arg == "--per-layer") {
             options.perLayer = true;
+        } else if (arg == "--timing" && i + 1 < argc) {
+            if (!parseTimingModel(argv[++i], options.timing)) {
+                std::fprintf(stderr,
+                             "unknown --timing '%s' (simple|overlap)\n",
+                             argv[i]);
+                return 2;
+            }
         } else if (arg == "--list") {
             list = true;
         } else if (arg == "--all") {
@@ -68,7 +98,16 @@ main(int argc, char **argv)
         for (const auto &figure : all())
             std::printf("%-18s %s\n", figure.id.c_str(),
                         figure.title.c_str());
+        std::printf("\nplatforms (--platform KIND[:VARIANT]):\n");
+        for (const auto &entry : PlatformRegistry::builtin().entries())
+            std::printf("%-18s %s\n", entry.kind.c_str(),
+                        entry.help.c_str());
         return 0;
+    }
+    if (!platforms.empty()) {
+        if (run_all || !ids.empty())
+            return usage(argv[0]);
+        return runPlatforms(platforms, batch, options);
     }
     if (run_all) {
         for (const auto &figure : all())
