@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Closed-loop serving benchmark: every paper platform under the same
+ * always-outstanding client load, side by side.
+ *
+ * Each platform serves the same seeded request mix (whole zoo,
+ * batch-of-1 requests from N concurrent clients) through the
+ * dynamic-batching ServingEngine; the table reports throughput and
+ * the latency distribution per platform. Deterministic for a fixed
+ * seed: rerunning prints byte-identical numbers.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "src/common/cli.h"
+#include "src/common/table.h"
+#include "src/serve/serving_engine.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace bitfusion;
+    using namespace bitfusion::serve;
+
+    ClosedLoopSpec load;
+    load.clients = 8;
+    load.requests = 256;
+    load.samples = 1;
+    load.seed = 1;
+    ServeOptions options;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--requests") {
+            load.requests = static_cast<std::size_t>(
+                cli::uintArg(argc, argv, i, "--requests"));
+        } else if (arg == "--clients") {
+            load.clients = static_cast<unsigned>(
+                cli::uintArg(argc, argv, i, "--clients", UINT32_MAX));
+        } else if (arg == "--seed") {
+            load.seed = cli::uintArg(argc, argv, i, "--seed");
+        } else if (arg == "--threads") {
+            options.threads = static_cast<unsigned>(
+                cli::uintArg(argc, argv, i, "--threads", UINT32_MAX));
+        } else if (arg == "--timing") {
+            options.timing = timingArg(argc, argv, i);
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--requests N] [--clients C] "
+                         "[--seed S] [--threads N] "
+                         "[--timing simple|overlap]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+
+    std::printf("=== Closed-loop serving: %zu requests, %u clients, "
+                "seed %llu, timing=%s ===\n\n",
+                load.requests, load.clients,
+                static_cast<unsigned long long>(load.seed),
+                toString(options.timing));
+
+    const char *tokens[] = {"bitfusion", "eyeriss", "stripes",
+                            "gpu:titan-xp-int8"};
+    TextTable table({"Platform", "req/s", "samples/s", "p50 us",
+                     "p99 us", "fill", "uJ/sample"});
+    for (const char *token : tokens) {
+        ServingEngine engine(PlatformRegistry::builtin().parse(token),
+                             options);
+        const ServeReport report = engine.runClosedLoop(load);
+        const Percentiles lat = report.latencyUs();
+        const double uj =
+            report.totalSamples != 0
+                ? 1e6 * report.energyJ /
+                      static_cast<double>(report.totalSamples)
+                : 0.0;
+        table.addRow({report.platform, TextTable::num(
+                          report.requestsPerSec(), 1),
+                      TextTable::num(report.samplesPerSec(), 1),
+                      TextTable::num(lat.p50, 1),
+                      TextTable::num(lat.p99, 1),
+                      TextTable::num(100.0 * report.batchFill(), 1) +
+                          "%",
+                      uj > 0.0 ? TextTable::num(uj, 2) : "-"});
+    }
+    table.print();
+    std::printf("\n(one accelerator per platform; clients keep one "
+                "request outstanding; requests coalesce up to the "
+                "platform batch)\n");
+    return 0;
+}

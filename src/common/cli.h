@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Shared flag-value parsers for the CLI binaries (tools/, bench/).
+ *
+ * Both parsers consume the value following argv[i] and advance i;
+ * on a missing or malformed value they print a diagnostic naming
+ * the flag and exit with the usage status (2). Counts and seeds go
+ * through uintArg (exact, overflow-checked); time-valued flags go
+ * through doubleArg (fractions allowed, non-finite rejected).
+ *
+ * The --timing parser with the same contract is timingArg() in
+ * core/layer_walk.h, beside the TimingModel enum it produces --
+ * hosting it here would invert the common -> core layering.
+ */
+
+#ifndef BITFUSION_COMMON_CLI_H
+#define BITFUSION_COMMON_CLI_H
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+namespace bitfusion {
+namespace cli {
+
+/** Non-negative finite double argument (e.g. --mean-gap-us). */
+inline double
+doubleArg(int argc, char **argv, int &i, const char *flag)
+{
+    if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        std::exit(2);
+    }
+    char *end = nullptr;
+    const double v = std::strtod(argv[++i], &end);
+    if (end == argv[i] || *end != '\0' || !std::isfinite(v) || v < 0) {
+        std::fprintf(stderr,
+                     "%s needs a non-negative finite number, got "
+                     "'%s'\n",
+                     flag, argv[i]);
+        std::exit(2);
+    }
+    return v;
+}
+
+/**
+ * Non-negative integer argument, exact up to 64 bits (seeds).
+ * @p max rejects values the call site would otherwise truncate when
+ * narrowing (e.g. pass UINT32_MAX for flags stored in unsigned).
+ */
+inline std::uint64_t
+uintArg(int argc, char **argv, int &i, const char *flag,
+        std::uint64_t max = UINT64_MAX)
+{
+    if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        std::exit(2);
+    }
+    char *end = nullptr;
+    errno = 0;
+    const unsigned long long v = std::strtoull(argv[++i], &end, 10);
+    // Must start with a digit: strtoull itself skips whitespace and
+    // wraps negative input modulo 2^64.
+    if (end == argv[i] || *end != '\0' ||
+        !std::isdigit(static_cast<unsigned char>(argv[i][0])) ||
+        errno == ERANGE || v > max) {
+        std::fprintf(stderr,
+                     "%s needs an integer in [0, %llu], got '%s'\n",
+                     flag, static_cast<unsigned long long>(max),
+                     argv[i]);
+        std::exit(2);
+    }
+    return v;
+}
+
+} // namespace cli
+} // namespace bitfusion
+
+#endif // BITFUSION_COMMON_CLI_H

@@ -11,6 +11,7 @@
 #ifndef BITFUSION_COMMON_PRNG_H
 #define BITFUSION_COMMON_PRNG_H
 
+#include <cmath>
 #include <cstdint>
 
 #include "src/common/bitutils.h"
@@ -60,6 +61,18 @@ class Prng
     nextDouble()
     {
         return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /**
+     * Exponentially distributed value with the given @p mean (> 0);
+     * the inter-arrival distribution of a Poisson process. Used by
+     * the serving layer's synthetic open-loop traces.
+     */
+    double
+    nextExponential(double mean)
+    {
+        // 1 - u lies in (0, 1], so log() never sees zero.
+        return -mean * std::log(1.0 - nextDouble());
     }
 
   private:

@@ -1,6 +1,8 @@
 #include "src/core/layer_walk.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 #include <utility>
 
 #include "src/common/bitutils.h"
@@ -32,6 +34,22 @@ parseTimingModel(const std::string &name, TimingModel &out)
         return true;
     }
     return false;
+}
+
+TimingModel
+timingArg(int argc, char **argv, int &i)
+{
+    if (i + 1 >= argc) {
+        std::fprintf(stderr, "--timing needs a value\n");
+        std::exit(2);
+    }
+    TimingModel model;
+    if (!parseTimingModel(argv[++i], model)) {
+        std::fprintf(stderr, "unknown --timing '%s' (simple|overlap)\n",
+                     argv[i]);
+        std::exit(2);
+    }
+    return model;
 }
 
 LayerPhases

@@ -58,6 +58,14 @@ const char *toString(TimingModel model);
 bool parseTimingModel(const std::string &name, TimingModel &out);
 
 /**
+ * CLI glue shared by the tools and bench binaries: parse the value
+ * following argv[i] as a timing model and advance i; prints a
+ * diagnostic and exits with the usage status (2) on a missing or
+ * unknown name.
+ */
+TimingModel timingArg(int argc, char **argv, int &i);
+
+/**
  * One layer's phase times, in a platform-chosen unit (cycles for the
  * ASIC models, seconds for the GPU roofline). The load and drain
  * phases share one DRAM channel, so they enter the composition as

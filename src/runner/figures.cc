@@ -21,6 +21,7 @@
 #include "src/arch/hw_model.h"
 #include "src/arch/spatial_fusion.h"
 #include "src/arch/temporal_unit.h"
+#include "src/common/cli.h"
 #include "src/common/logging.h"
 #include "src/common/table.h"
 #include "src/dnn/model_zoo.h"
@@ -1037,20 +1038,15 @@ benchMain(const std::vector<std::string> &ids, int argc, char **argv)
     FigureOptions options;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
-        if (arg == "--threads" && i + 1 < argc) {
-            options.threads =
-                static_cast<unsigned>(std::atoi(argv[++i]));
+        if (arg == "--threads") {
+            options.threads = static_cast<unsigned>(
+                cli::uintArg(argc, argv, i, "--threads", UINT32_MAX));
         } else if (arg == "--json" && i + 1 < argc) {
             options.jsonPath = argv[++i];
         } else if (arg == "--per-layer") {
             options.perLayer = true;
-        } else if (arg == "--timing" && i + 1 < argc) {
-            if (!parseTimingModel(argv[++i], options.timing)) {
-                std::fprintf(stderr,
-                             "unknown --timing '%s' (simple|overlap)\n",
-                             argv[i]);
-                return 2;
-            }
+        } else if (arg == "--timing") {
+            options.timing = timingArg(argc, argv, i);
         } else {
             std::fprintf(stderr,
                          "usage: %s [--threads N] [--json PATH] "

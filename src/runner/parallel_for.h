@@ -1,0 +1,88 @@
+/**
+ * @file
+ * The fixed-size thread-queue pool shared by the sweep runner and
+ * the serving engine's prewarm phase.
+ */
+
+#ifndef BITFUSION_RUNNER_PARALLEL_FOR_H
+#define BITFUSION_RUNNER_PARALLEL_FOR_H
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace bitfusion {
+
+/**
+ * Resolve a requested worker count for @p work items: 0 means
+ * hardware concurrency (at least 1), and the result never exceeds
+ * the number of items.
+ */
+inline unsigned
+resolveThreads(unsigned requested, std::size_t work)
+{
+    unsigned n = requested;
+    if (n == 0) {
+        n = std::thread::hardware_concurrency();
+        if (n == 0)
+            n = 1;
+    }
+    return static_cast<unsigned>(
+        std::min<std::size_t>(n, std::max<std::size_t>(work, 1)));
+}
+
+/**
+ * Run fn(0..count-1) on up to @p threads workers pulling indices
+ * from a shared atomic counter. The first exception (workers should
+ * not normally throw; models report user error via BF_FATAL) is
+ * rethrown on the calling thread after all workers join.
+ */
+template <typename Fn>
+void
+parallelFor(std::size_t count, unsigned threads, Fn &&fn)
+{
+    if (count == 0)
+        return;
+    if (threads <= 1 || count == 1) {
+        for (std::size_t i = 0; i < count; ++i)
+            fn(i);
+        return;
+    }
+
+    std::atomic<std::size_t> next{0};
+    std::exception_ptr firstError;
+    std::mutex errorMutex;
+    auto worker = [&]() {
+        for (;;) {
+            const std::size_t i = next.fetch_add(1);
+            if (i >= count)
+                return;
+            try {
+                fn(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(errorMutex);
+                if (!firstError)
+                    firstError = std::current_exception();
+            }
+        }
+    };
+
+    const unsigned n =
+        static_cast<unsigned>(std::min<std::size_t>(threads, count));
+    std::vector<std::thread> pool;
+    pool.reserve(n);
+    for (unsigned t = 0; t < n; ++t)
+        pool.emplace_back(worker);
+    for (auto &th : pool)
+        th.join();
+    if (firstError)
+        std::rethrow_exception(firstError);
+}
+
+} // namespace bitfusion
+
+#endif // BITFUSION_RUNNER_PARALLEL_FOR_H

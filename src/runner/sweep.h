@@ -5,10 +5,10 @@
  * A sweep is the cartesian product of platforms (PlatformSpecs of
  * any registered kind) x networks x batch sizes. The runner expands
  * the grid, builds each cell's platform through the
- * PlatformRegistry, compiles each distinct (compile key, network,
- * batch) triple exactly once into a shared artifact cache (keyed by
- * Platform::compileKey()), and fans the simulations out across a
- * fixed-size thread pool.
+ * PlatformRegistry, resolves each distinct (compile key, network,
+ * batch) triple through the process-level ArtifactCache
+ * (src/core/artifact_cache.h, shared with the serving engine), and
+ * fans the simulations out across a fixed-size thread pool.
  *
  * Determinism: results are stored in grid order (platform-major,
  * then network, then batch), each worker writes only its own cell,
@@ -105,9 +105,15 @@ class SweepResult
                           const std::string &network,
                           unsigned batch = 0) const;
 
-    /** Networks compiled (cache misses) during the sweep. */
+    /**
+     * Distinct compilations this sweep's grid needs. A pure function
+     * of the spec: an artifact already resident in the shared cache
+     * (from a previous sweep or the serving engine) still counts
+     * here even though no work was redone -- cross-run reuse is
+     * visible on ArtifactCache's own counters instead.
+     */
     std::size_t compileCount() const { return compiles_; }
-    /** Cells served from the compiled-artifact cache. */
+    /** Cells served by reusing another cell's compilation. */
     std::size_t cacheHits() const { return cacheHits_; }
     /** Worker threads the sweep ran with. */
     unsigned threadsUsed() const { return threads_; }
@@ -132,6 +138,8 @@ class SweepResult
     TimingModel timing_ = TimingModel::Simple;
 };
 
+class ArtifactCache;
+
 /** Runner options. */
 struct SweepOptions
 {
@@ -139,6 +147,12 @@ struct SweepOptions
     unsigned threads = 0;
     /** Phase-time composition used for every cell. */
     TimingModel timing = TimingModel::Simple;
+    /**
+     * Compiled-artifact cache to resolve compilations through;
+     * nullptr uses the process-level ArtifactCache::process().
+     * Tests pass a private cache for isolated accounting.
+     */
+    ArtifactCache *cache = nullptr;
 };
 
 /** Expands sweep grids and executes them on a thread pool. */

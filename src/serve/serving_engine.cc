@@ -1,0 +1,492 @@
+/**
+ * @file
+ * The virtual-clock event loop behind the serving engine: batch
+ * selection, the batching window, memoized platform runs, and the
+ * report aggregation.
+ */
+
+#include "src/serve/serving_engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <queue>
+#include <set>
+
+#include "src/common/json.h"
+#include "src/common/logging.h"
+#include "src/common/prng.h"
+#include "src/core/artifact_cache.h"
+#include "src/runner/parallel_for.h"
+
+namespace bitfusion {
+namespace serve {
+
+namespace {
+
+/** Min-heap ordering of future arrivals by (arrival, id). */
+struct ArrivalAfter
+{
+    bool
+    operator()(const InferenceRequest &a,
+               const InferenceRequest &b) const
+    {
+        if (a.arrivalUs != b.arrivalUs)
+            return a.arrivalUs > b.arrivalUs;
+        return a.id > b.id;
+    }
+};
+
+json::Value
+percentilesJson(const Percentiles &p)
+{
+    return json::Value::object()
+        .set("p50", p.p50)
+        .set("p95", p.p95)
+        .set("p99", p.p99)
+        .set("mean", p.mean)
+        .set("max", p.max);
+}
+
+} // namespace
+
+// ---------------------------------------------------------- Percentiles
+
+Percentiles
+percentiles(std::vector<double> values)
+{
+    Percentiles p;
+    if (values.empty())
+        return p;
+    std::sort(values.begin(), values.end());
+    const std::size_t n = values.size();
+    const auto rank = [&](double q) {
+        // Nearest-rank: the smallest value with at least q% of the
+        // sample at or below it.
+        std::size_t idx = static_cast<std::size_t>(
+            std::ceil(q / 100.0 * static_cast<double>(n)));
+        idx = std::max<std::size_t>(idx, 1);
+        return values[std::min(idx, n) - 1];
+    };
+    p.p50 = rank(50.0);
+    p.p95 = rank(95.0);
+    p.p99 = rank(99.0);
+    double sum = 0.0;
+    for (double v : values)
+        sum += v;
+    p.mean = sum / static_cast<double>(n);
+    p.max = values.back();
+    return p;
+}
+
+// ---------------------------------------------------------- ServeReport
+
+Percentiles
+ServeReport::latencyUs() const
+{
+    std::vector<double> values;
+    values.reserve(requests.size());
+    for (const auto &r : requests)
+        values.push_back(r.latencyUs());
+    return percentiles(std::move(values));
+}
+
+Percentiles
+ServeReport::queueUs() const
+{
+    std::vector<double> values;
+    values.reserve(requests.size());
+    for (const auto &r : requests)
+        values.push_back(r.queueUs());
+    return percentiles(std::move(values));
+}
+
+double
+ServeReport::requestsPerSec() const
+{
+    if (makespanUs <= 0.0)
+        return 0.0;
+    return static_cast<double>(requests.size()) / (makespanUs * 1e-6);
+}
+
+double
+ServeReport::samplesPerSec() const
+{
+    if (makespanUs <= 0.0)
+        return 0.0;
+    return static_cast<double>(totalSamples) / (makespanUs * 1e-6);
+}
+
+double
+ServeReport::batchFill() const
+{
+    if (batches.empty() || maxBatch == 0)
+        return 0.0;
+    return static_cast<double>(totalSamples) /
+           (static_cast<double>(batches.size()) *
+            static_cast<double>(maxBatch));
+}
+
+std::string
+ServeReport::json(bool per_request) const
+{
+    json::Value doc = json::Value::object();
+    doc.set("serve", mode)
+        .set("platform", platform)
+        .set("timing", toString(timing))
+        .set("max_batch", maxBatch)
+        .set("max_wait_us", maxWaitUs)
+        .set("requests", static_cast<std::uint64_t>(requests.size()))
+        .set("samples", totalSamples)
+        .set("batches", static_cast<std::uint64_t>(batches.size()))
+        .set("batch_fill", batchFill())
+        .set("distinct_batch_shapes",
+             static_cast<std::uint64_t>(distinctBatchShapes))
+        .set("makespan_us", makespanUs)
+        .set("requests_per_sec", requestsPerSec())
+        .set("samples_per_sec", samplesPerSec())
+        .set("latency_us", percentilesJson(latencyUs()))
+        .set("queue_us", percentilesJson(queueUs()))
+        .set("deadline_misses",
+             static_cast<std::uint64_t>(deadlineMisses))
+        .set("energy_j", energyJ)
+        .set("energy_per_sample_j",
+             totalSamples != 0
+                 ? energyJ / static_cast<double>(totalSamples)
+                 : 0.0)
+        .set("cache", json::Value::object()
+                          .set("compiles",
+                               static_cast<std::uint64_t>(compiles))
+                          .set("hits", static_cast<std::uint64_t>(
+                                           cacheHits)));
+
+    if (per_request) {
+        json::Value recs = json::Value::array();
+        for (const auto &r : requests) {
+            recs.push(json::Value::object()
+                          .set("id", r.request.id)
+                          .set("network", r.request.network)
+                          .set("samples", r.request.samples)
+                          .set("arrival_us", r.request.arrivalUs)
+                          .set("dispatch_us", r.dispatchUs)
+                          .set("finish_us", r.finishUs)
+                          .set("batch_samples", r.batchSamples)
+                          .set("deadline_missed", r.deadlineMissed));
+        }
+        doc.set("request_records", std::move(recs));
+    }
+    return doc.dump(2);
+}
+
+// -------------------------------------------------------- ServingEngine
+
+ServingEngine::ServingEngine(PlatformSpec spec, ServeOptions opts)
+    : spec_(std::move(spec)), opts_(opts)
+{
+    cache_ = opts_.cache != nullptr ? opts_.cache
+                                    : &ArtifactCache::process();
+    for (const auto &bench : zoo::all())
+        catalog_.push_back(bench);
+}
+
+void
+ServingEngine::setCatalog(std::vector<zoo::Benchmark> catalog)
+{
+    if (catalog.empty())
+        BF_FATAL("serving catalog must not be empty");
+    catalog_ = std::move(catalog);
+    memo_.clear();
+}
+
+unsigned
+ServingEngine::maxBatch() const
+{
+    return opts_.maxBatch != 0 ? opts_.maxBatch
+                               : spec_.effectiveBatch();
+}
+
+const zoo::Benchmark &
+ServingEngine::benchmark(const std::string &name) const
+{
+    for (const auto &bench : catalog_) {
+        if (bench.name == name)
+            return bench;
+    }
+    BF_FATAL("serving catalog has no network '", name, "'");
+}
+
+const Network &
+ServingEngine::variant(const zoo::Benchmark &bench) const
+{
+    return spec_.runsQuantized ? bench.quantized : bench.baseline;
+}
+
+const Platform &
+ServingEngine::platformFor(unsigned batch)
+{
+    auto it = platforms_.find(batch);
+    if (it == platforms_.end()) {
+        PlatformSpec spec = spec_;
+        spec.batch = batch;
+        it = platforms_
+                 .emplace(batch, PlatformRegistry::builtin().build(spec))
+                 .first;
+    }
+    return *it->second;
+}
+
+const RunStats &
+ServingEngine::statsFor(const std::string &network, unsigned batch)
+{
+    const auto key = std::make_pair(network, batch);
+    auto it = memo_.find(key);
+    if (it != memo_.end())
+        return it->second;
+
+    const Platform &platform = platformFor(batch);
+    const Network &net = variant(benchmark(network));
+    const ArtifactCache::Outcome out = cache_->get(platform, net);
+    RunOptions runOpts;
+    runOpts.timing = opts_.timing;
+    runOpts.artifact = out.artifact.get();
+    return memo_.emplace(key, platform.run(net, runOpts)).first->second;
+}
+
+void
+ServingEngine::precompile(const std::vector<std::string> &networks)
+{
+    std::set<std::string> names(networks.begin(), networks.end());
+
+    // Resolve every named network (fatal on unknown) and build the
+    // full-batch platform before fanning out; the workers then only
+    // touch the thread-safe artifact cache.
+    std::vector<const Network *> nets;
+    for (const auto &name : names)
+        nets.push_back(&variant(benchmark(name)));
+    const Platform &platform = platformFor(maxBatch());
+
+    parallelFor(nets.size(),
+                resolveThreads(opts_.threads, nets.size()),
+                [&](std::size_t i) { cache_->get(platform, *nets[i]); });
+}
+
+template <typename OnFinish>
+ServeReport
+ServingEngine::runLoop(std::vector<InferenceRequest> initial,
+                       const std::vector<std::string> &warmNetworks,
+                       OnFinish &&onFinish)
+{
+    const unsigned cap = maxBatch();
+    BF_ASSERT(cap > 0);
+
+    const std::size_t compilesBefore = cache_->compileCount();
+    const std::size_t hitsBefore = cache_->hitCount();
+    const std::size_t shapesBefore = memo_.size();
+    precompile(warmNetworks);
+
+    ServeReport report;
+    report.platform = spec_.name;
+    report.timing = opts_.timing;
+    report.maxBatch = cap;
+    report.maxWaitUs = opts_.maxWaitUs;
+
+    std::priority_queue<InferenceRequest,
+                        std::vector<InferenceRequest>, ArrivalAfter>
+        future(ArrivalAfter{}, std::move(initial));
+    std::deque<InferenceRequest> queue;
+    double freeAt = 0.0;
+
+    const auto validate = [&](const InferenceRequest &req) {
+        if (req.samples == 0 || req.samples > cap) {
+            BF_FATAL("request ", req.id, " has ", req.samples,
+                     " samples; the engine coalesces whole requests "
+                     "up to max batch ",
+                     cap);
+        }
+    };
+    const auto absorb = [&](double now) {
+        while (!future.empty() && future.top().arrivalUs <= now) {
+            validate(future.top());
+            queue.push_back(future.top());
+            future.pop();
+        }
+    };
+
+    while (!queue.empty() || !future.empty()) {
+        double now = freeAt;
+        if (queue.empty())
+            now = std::max(freeAt, future.top().arrivalUs);
+        absorb(now);
+
+        // Head-of-line batch selection: the oldest request picks the
+        // network; arrived requests of that network join in FIFO
+        // order while the whole request still fits.
+        const InferenceRequest head = queue.front();
+        unsigned samples = 0;
+        std::vector<std::size_t> members;
+        for (std::size_t i = 0; i < queue.size() && samples < cap;
+             ++i) {
+            const InferenceRequest &r = queue[i];
+            if (r.network == head.network &&
+                samples + r.samples <= cap) {
+                members.push_back(i);
+                samples += r.samples;
+            }
+        }
+
+        // Batching window: an unfilled batch may wait for more
+        // arrivals until the timer set at the head's arrival fires,
+        // but never past a member's deadline; it dispatches early
+        // the moment it fills.
+        double dispatch = now;
+        if (samples < cap && opts_.maxWaitUs > 0.0) {
+            double windowEnd = head.arrivalUs + opts_.maxWaitUs;
+            for (std::size_t i : members) {
+                if (queue[i].deadlineUs > 0.0)
+                    windowEnd = std::min(windowEnd, queue[i].deadlineUs);
+            }
+            windowEnd = std::max(windowEnd, now);
+            const bool waited = windowEnd > now;
+            while (samples < cap && !future.empty() &&
+                   future.top().arrivalUs <= windowEnd) {
+                const InferenceRequest next = future.top();
+                future.pop();
+                validate(next);
+                queue.push_back(next);
+                if (next.network == head.network &&
+                    samples + next.samples <= cap) {
+                    members.push_back(queue.size() - 1);
+                    samples += next.samples;
+                    dispatch = std::max(dispatch, next.arrivalUs);
+                    if (next.deadlineUs > 0.0) {
+                        windowEnd = std::min(
+                            windowEnd,
+                            std::max(next.deadlineUs, dispatch));
+                    }
+                }
+            }
+            if (samples < cap && waited)
+                dispatch = windowEnd; // the batching timer fires
+        }
+
+        // Dispatch: charge the platform's simulated batch latency.
+        const RunStats &rs = statsFor(head.network, samples);
+        const double latencyUs = rs.seconds() * 1e6;
+        const double finish = dispatch + latencyUs;
+        freeAt = finish;
+        report.energyJ += rs.energy().totalJ();
+        report.totalSamples += samples;
+        report.makespanUs = finish;
+        report.batches.push_back(
+            {head.network, samples, members.size(), dispatch,
+             latencyUs});
+
+        std::vector<InferenceRequest> injected;
+        for (std::size_t i : members) {
+            RequestRecord rec;
+            rec.request = queue[i];
+            rec.dispatchUs = dispatch;
+            rec.finishUs = finish;
+            rec.batchSamples = samples;
+            rec.deadlineMissed = rec.request.deadlineUs > 0.0 &&
+                                 dispatch > rec.request.deadlineUs;
+            if (rec.deadlineMissed)
+                ++report.deadlineMisses;
+            onFinish(rec, injected);
+            report.requests.push_back(std::move(rec));
+        }
+        for (auto &req : injected)
+            future.push(std::move(req));
+        // Compact the queue in one stable pass (members is ascending).
+        std::deque<InferenceRequest> rest;
+        std::size_t nextMember = 0;
+        for (std::size_t i = 0; i < queue.size(); ++i) {
+            if (nextMember < members.size() &&
+                members[nextMember] == i) {
+                ++nextMember;
+                continue;
+            }
+            rest.push_back(std::move(queue[i]));
+        }
+        queue.swap(rest);
+    }
+
+    std::stable_sort(report.requests.begin(), report.requests.end(),
+                     [](const RequestRecord &a, const RequestRecord &b) {
+                         return a.request.id < b.request.id;
+                     });
+    report.distinctBatchShapes = memo_.size() - shapesBefore;
+    report.compiles = cache_->compileCount() - compilesBefore;
+    report.cacheHits = cache_->hitCount() - hitsBefore;
+    return report;
+}
+
+ServeReport
+ServingEngine::run(const std::vector<InferenceRequest> &trace)
+{
+    for (std::size_t i = 1; i < trace.size(); ++i) {
+        if (trace[i].arrivalUs < trace[i - 1].arrivalUs) {
+            BF_FATAL("open-loop trace is not arrival-ordered at "
+                     "request ",
+                     i);
+        }
+    }
+    std::vector<std::string> networks;
+    for (const auto &req : trace)
+        networks.push_back(req.network);
+    ServeReport report = runLoop(
+        trace, networks,
+        [](const RequestRecord &, std::vector<InferenceRequest> &) {});
+    report.mode = "open-loop";
+    return report;
+}
+
+ServeReport
+ServingEngine::runClosedLoop(const ClosedLoopSpec &spec)
+{
+    if (spec.clients == 0)
+        BF_FATAL("closed loop needs at least one client");
+    if (spec.samples == 0)
+        BF_FATAL("closed loop needs at least one sample per request");
+
+    std::vector<std::string> networks = spec.networks;
+    if (networks.empty()) {
+        for (const auto &bench : catalog_)
+            networks.push_back(bench.name);
+    }
+
+    Prng prng(spec.seed);
+    std::uint64_t nextId = 0;
+    std::size_t issued = 0;
+    const auto makeRequest = [&](double arrivalUs) {
+        InferenceRequest req;
+        req.id = nextId++;
+        req.network = networks[prng.below(networks.size())];
+        req.samples = spec.samples;
+        req.arrivalUs = arrivalUs;
+        ++issued;
+        return req;
+    };
+
+    std::vector<InferenceRequest> initial;
+    const std::size_t starters =
+        std::min<std::size_t>(spec.clients, spec.requests);
+    for (std::size_t c = 0; c < starters; ++c)
+        initial.push_back(makeRequest(0.0));
+
+    // Each completion hands its client the next request (arrival =
+    // completion time) until the quota is issued. The whole network
+    // mix prewarms, not just the starters' random draws.
+    ServeReport report = runLoop(
+        std::move(initial), networks,
+        [&](const RequestRecord &rec,
+            std::vector<InferenceRequest> &out) {
+            if (issued < spec.requests)
+                out.push_back(makeRequest(rec.finishUs));
+        });
+    report.mode = "closed-loop";
+    return report;
+}
+
+} // namespace serve
+} // namespace bitfusion

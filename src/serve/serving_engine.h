@@ -1,0 +1,239 @@
+/**
+ * @file
+ * The dynamic-batching serving layer over Platform::run.
+ *
+ * The ServingEngine fronts one simulated platform instance with a
+ * request queue on a virtual clock: clients submit
+ * InferenceRequest{network, batch-of-inputs, deadline}, the batcher
+ * coalesces compatible requests (same network, FIFO order) into
+ * dynamic batches up to the platform's best batch size, and every
+ * dispatch charges the platform's simulated batch latency. The
+ * engine records per-request queueing and compute latency, so a run
+ * reports p50/p95/p99 latency, throughput, batch fill, deadline
+ * misses, and energy per platform.
+ *
+ * Batching policy (head-of-line, timer-based): when the platform
+ * frees up, the oldest queued request picks the batch's network;
+ * queued requests of that network join in FIFO order while they fit.
+ * If the batch is not full and a batching window (maxWaitUs) is
+ * configured, dispatch waits for more arrivals until the window
+ * expires -- but never past any member's deadline -- and fires early
+ * the moment the batch fills. Requests are coalesced whole (a
+ * request's samples never split across batches).
+ *
+ * Costs come from the same Platform::run every figure uses, with
+ * compiled artifacts resolved through the process-level
+ * ArtifactCache (shared with the sweep runner), and the simulated
+ * latency of a (network, batch-size) pair memoized after its first
+ * dispatch. The worker pool (runner/parallel_for.h) precompiles
+ * every distinct network at the full batch size up front; odd-sized
+ * remainder batches compile on first dispatch.
+ *
+ * Determinism: the event loop is serial on the virtual clock and the
+ * platform is a pure function of its inputs, so for a fixed trace
+ * (or seed) the report -- including its JSON dump -- is byte-
+ * identical for any worker-thread count.
+ */
+
+#ifndef BITFUSION_SERVE_SERVING_ENGINE_H
+#define BITFUSION_SERVE_SERVING_ENGINE_H
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/core/platform_registry.h"
+#include "src/core/stats.h"
+#include "src/dnn/model_zoo.h"
+#include "src/serve/trace.h"
+
+namespace bitfusion {
+
+class ArtifactCache;
+
+namespace serve {
+
+/** Engine configuration. */
+struct ServeOptions
+{
+    /** Precompile worker threads; 0 = hardware concurrency. */
+    unsigned threads = 0;
+    /** Phase-time composition (core/layer_walk.h). */
+    TimingModel timing = TimingModel::Simple;
+    /**
+     * Largest coalesced batch in samples; 0 = the platform's
+     * configured batch size (the paper's best batch).
+     */
+    unsigned maxBatch = 0;
+    /**
+     * Batching window: how long a dispatch may wait for more
+     * requests past the head request's arrival. 0 = dispatch
+     * immediately with whatever has arrived.
+     */
+    double maxWaitUs = 0.0;
+    /**
+     * Compiled-artifact cache; nullptr uses the process-level
+     * ArtifactCache::process() shared with the sweep runner.
+     */
+    ArtifactCache *cache = nullptr;
+};
+
+/** Closed-loop benchmark: clients with one outstanding request. */
+struct ClosedLoopSpec
+{
+    /** Concurrent clients; each replaces its request on completion. */
+    unsigned clients = 4;
+    /** Total requests to serve before draining. */
+    std::size_t requests = 256;
+    /** Samples per request. */
+    unsigned samples = 1;
+    /** PRNG seed for the per-request network choice. */
+    std::uint64_t seed = 1;
+    /** Network mix; empty = the engine's whole catalog. */
+    std::vector<std::string> networks;
+};
+
+/** One served request with its measured timeline. */
+struct RequestRecord
+{
+    InferenceRequest request;
+    /** Virtual time the batch containing this request started. */
+    double dispatchUs = 0.0;
+    /** Virtual time the batch finished. */
+    double finishUs = 0.0;
+    /** Total samples of the coalesced batch it rode in. */
+    unsigned batchSamples = 0;
+    /** True when dispatch happened after the request's deadline. */
+    bool deadlineMissed = false;
+
+    /** Time spent queued before dispatch. */
+    double queueUs() const { return dispatchUs - request.arrivalUs; }
+    /** End-to-end latency (queueing + compute). */
+    double latencyUs() const { return finishUs - request.arrivalUs; }
+};
+
+/** One dispatched batch. */
+struct BatchRecord
+{
+    std::string network;
+    /** Coalesced sample count (the platform batch it ran at). */
+    unsigned samples = 0;
+    /** Requests coalesced into this batch. */
+    std::size_t requests = 0;
+    double dispatchUs = 0.0;
+    /** Simulated compute latency of the batch. */
+    double latencyUs = 0.0;
+};
+
+/** Latency summary (nearest-rank percentiles). */
+struct Percentiles
+{
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+    double mean = 0.0;
+    double max = 0.0;
+};
+
+/** Nearest-rank percentile summary of @p values (exposed for tests). */
+Percentiles percentiles(std::vector<double> values);
+
+/** Everything one serving run measured. */
+struct ServeReport
+{
+    /** "open-loop" or "closed-loop". */
+    std::string mode;
+    /** Platform display name. */
+    std::string platform;
+    TimingModel timing = TimingModel::Simple;
+    unsigned maxBatch = 0;
+    double maxWaitUs = 0.0;
+
+    /** Served requests in id order. */
+    std::vector<RequestRecord> requests;
+    /** Dispatched batches in dispatch order. */
+    std::vector<BatchRecord> batches;
+    /** Total samples served. */
+    std::uint64_t totalSamples = 0;
+    std::size_t deadlineMisses = 0;
+    /** Virtual time of the last batch completion. */
+    double makespanUs = 0.0;
+    /** Summed simulated energy of every dispatched batch. */
+    double energyJ = 0.0;
+    /** Artifact-cache misses charged to this run. */
+    std::size_t compiles = 0;
+    /** Artifact-cache hits observed by this run. */
+    std::size_t cacheHits = 0;
+    /** Distinct (network, batch-size) simulations this run added. */
+    std::size_t distinctBatchShapes = 0;
+
+    Percentiles latencyUs() const;
+    Percentiles queueUs() const;
+    double requestsPerSec() const;
+    double samplesPerSec() const;
+    /** Mean occupied fraction of the dispatched batches. */
+    double batchFill() const;
+
+    /**
+     * Machine-readable dump. Deliberately excludes the worker-thread
+     * count so output is byte-identical across thread counts;
+     * @p per_request additionally embeds every request record.
+     */
+    std::string json(bool per_request = false) const;
+};
+
+/**
+ * Serving front-end over one platform; see file docs. Not
+ * thread-safe: one engine serves one workload at a time (the
+ * internal worker pool is an implementation detail).
+ */
+class ServingEngine
+{
+  public:
+    /**
+     * @p spec is the served platform (any registered kind); the
+     * catalog defaults to the eight paper benchmarks.
+     */
+    explicit ServingEngine(PlatformSpec spec, ServeOptions opts = {});
+    ServingEngine(ServingEngine &&) = default;
+
+    /** Replace the network catalog (tests use tiny networks). */
+    void setCatalog(std::vector<zoo::Benchmark> catalog);
+
+    /** The coalescing limit in samples (option or platform batch). */
+    unsigned maxBatch() const;
+
+    /** Serve an arrival-ordered open-loop trace to completion. */
+    ServeReport run(const std::vector<InferenceRequest> &trace);
+
+    /** Run the closed-loop benchmark @p spec describes. */
+    ServeReport runClosedLoop(const ClosedLoopSpec &spec);
+
+  private:
+    const zoo::Benchmark &benchmark(const std::string &name) const;
+    const Network &variant(const zoo::Benchmark &bench) const;
+    const Platform &platformFor(unsigned batch);
+    const RunStats &statsFor(const std::string &network, unsigned batch);
+    void precompile(const std::vector<std::string> &networks);
+    template <typename OnFinish>
+    ServeReport runLoop(std::vector<InferenceRequest> initial,
+                        const std::vector<std::string> &warmNetworks,
+                        OnFinish &&onFinish);
+
+    PlatformSpec spec_;
+    ServeOptions opts_;
+    std::vector<zoo::Benchmark> catalog_;
+    ArtifactCache *cache_;
+    /** Built platform per batch size (platforms bind batch early). */
+    std::map<unsigned, std::unique_ptr<Platform>> platforms_;
+    /** Memoized simulation per (network, batch-size). */
+    std::map<std::pair<std::string, unsigned>, RunStats> memo_;
+};
+
+} // namespace serve
+} // namespace bitfusion
+
+#endif // BITFUSION_SERVE_SERVING_ENGINE_H

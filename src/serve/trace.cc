@@ -1,0 +1,132 @@
+#include "src/serve/trace.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+
+#include "src/common/logging.h"
+#include "src/common/prng.h"
+#include "src/dnn/model_zoo.h"
+
+namespace bitfusion {
+namespace serve {
+
+namespace {
+
+std::vector<std::string>
+defaultNetworks()
+{
+    std::vector<std::string> names;
+    for (const auto &bench : zoo::all())
+        names.push_back(bench.name);
+    return names;
+}
+
+} // namespace
+
+std::vector<InferenceRequest>
+syntheticTrace(const TraceSpec &spec)
+{
+    if (!std::isfinite(spec.meanGapUs) || spec.meanGapUs <= 0.0)
+        BF_FATAL("trace mean inter-arrival gap must be a positive "
+                 "finite value, got ",
+                 spec.meanGapUs);
+    if (spec.maxSamples == 0)
+        BF_FATAL("trace max request samples must be nonzero");
+    const std::vector<std::string> networks =
+        spec.networks.empty() ? defaultNetworks() : spec.networks;
+
+    Prng prng(spec.seed);
+    std::vector<InferenceRequest> trace;
+    trace.reserve(spec.requests);
+    double clock = 0.0;
+    for (std::size_t i = 0; i < spec.requests; ++i) {
+        clock += prng.nextExponential(spec.meanGapUs);
+        InferenceRequest req;
+        req.id = i;
+        req.network = networks[prng.below(networks.size())];
+        req.samples =
+            1 + static_cast<unsigned>(prng.below(spec.maxSamples));
+        req.arrivalUs = clock;
+        if (spec.deadlineSlackUs > 0.0)
+            req.deadlineUs = clock + spec.deadlineSlackUs;
+        trace.push_back(std::move(req));
+    }
+    return trace;
+}
+
+std::string
+formatTrace(const std::vector<InferenceRequest> &trace)
+{
+    std::ostringstream out;
+    out << "# arrival_us network samples [deadline_us]\n";
+    out << std::fixed << std::setprecision(6);
+    for (const auto &req : trace) {
+        out << req.arrivalUs << ' ' << req.network << ' '
+            << req.samples;
+        if (req.deadlineUs > 0.0)
+            out << ' ' << req.deadlineUs;
+        out << '\n';
+    }
+    return out.str();
+}
+
+std::vector<InferenceRequest>
+parseTrace(const std::string &text)
+{
+    std::vector<InferenceRequest> trace;
+    std::istringstream in(text);
+    std::string line;
+    std::size_t lineNo = 0;
+    while (std::getline(in, line)) {
+        ++lineNo;
+        const auto start = line.find_first_not_of(" \t\r");
+        if (start == std::string::npos || line[start] == '#')
+            continue;
+
+        std::istringstream fields(line);
+        InferenceRequest req;
+        req.id = trace.size();
+        long long samples = 0;
+        if (!(fields >> req.arrivalUs >> req.network >> samples))
+            BF_FATAL("trace line ", lineNo, " is malformed: '", line,
+                     "'");
+        if (!std::isfinite(req.arrivalUs) || req.arrivalUs < 0.0)
+            BF_FATAL("trace line ", lineNo, " has a bad arrival time ",
+                     req.arrivalUs);
+        if (samples <= 0 ||
+            samples > std::numeric_limits<unsigned>::max())
+            BF_FATAL("trace line ", lineNo, " has a bad sample count ",
+                     samples);
+        req.samples = static_cast<unsigned>(samples);
+        // The deadline column is optional but must parse cleanly if
+        // present (a string extraction, so a malformed number cannot
+        // put the stream into a fail state that hides it).
+        std::string fourth;
+        if (fields >> fourth) {
+            char *end = nullptr;
+            const double deadline = std::strtod(fourth.c_str(), &end);
+            if (end == fourth.c_str() || *end != '\0' ||
+                !std::isfinite(deadline) || deadline < 0.0) {
+                BF_FATAL("trace line ", lineNo,
+                         " has a malformed deadline '", fourth, "'");
+            }
+            req.deadlineUs = deadline;
+            std::string extra;
+            if (fields >> extra)
+                BF_FATAL("trace line ", lineNo, " has trailing '",
+                         extra, "'");
+        }
+        if (!trace.empty() && req.arrivalUs < trace.back().arrivalUs)
+            BF_FATAL("trace line ", lineNo,
+                     " is out of order (arrival ", req.arrivalUs,
+                     " before ", trace.back().arrivalUs, ")");
+        trace.push_back(std::move(req));
+    }
+    return trace;
+}
+
+} // namespace serve
+} // namespace bitfusion

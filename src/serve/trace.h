@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Request traces for the serving layer.
+ *
+ * A trace is an arrival-ordered list of InferenceRequests on the
+ * serving engine's virtual clock (microseconds). Traces come from
+ * three places: the seeded synthetic generator (a Poisson arrival
+ * process over a network mix -- the reproducible open-loop load the
+ * bitfusion_serve tool drives by default), a trace file, or a test's
+ * hand-built vector.
+ *
+ * Trace file format (one request per line, '#' starts a comment):
+ *
+ *     <arrival_us> <network> <samples> [deadline_us]
+ *
+ * where deadline_us is the absolute latest dispatch time (omitted or
+ * 0 = no deadline). Lines must be arrival-ordered. Times carry six
+ * fractional digits, so dumping a synthetic trace and serving the
+ * file reproduces the same batching decisions but may move reported
+ * latencies by sub-microsecond rounding.
+ */
+
+#ifndef BITFUSION_SERVE_TRACE_H
+#define BITFUSION_SERVE_TRACE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bitfusion {
+namespace serve {
+
+/** One client request: a batch of inputs for one network. */
+struct InferenceRequest
+{
+    /** Dense id; doubles as the FIFO tie-breaker. */
+    std::uint64_t id = 0;
+    /** Network name, resolved against the engine's catalog. */
+    std::string network;
+    /** Inputs in this request (coalesced whole into one batch). */
+    unsigned samples = 1;
+    /** Arrival time on the virtual clock. */
+    double arrivalUs = 0.0;
+    /**
+     * Absolute latest dispatch time; 0 = none. A forming batch never
+     * waits past one of its own members' deadlines (a queued request
+     * of another network cannot shorten someone else's window), and
+     * a dispatch after the deadline counts as a miss in the report.
+     */
+    double deadlineUs = 0.0;
+};
+
+/** Parameters of the synthetic open-loop arrival process. */
+struct TraceSpec
+{
+    /** PRNG seed; equal seeds give byte-identical traces. */
+    std::uint64_t seed = 1;
+    /** Requests to generate. */
+    std::size_t requests = 1000;
+    /** Mean exponential inter-arrival gap (Poisson arrivals). */
+    double meanGapUs = 5000.0;
+    /** Request sizes are uniform in [1, maxSamples]. */
+    unsigned maxSamples = 4;
+    /**
+     * Dispatch deadline granted to every request, relative to its
+     * arrival; 0 = no deadlines.
+     */
+    double deadlineSlackUs = 0.0;
+    /** Network mix, uniformly sampled; empty = the eight-paper zoo. */
+    std::vector<std::string> networks;
+};
+
+/** Generate the deterministic synthetic trace @p spec describes. */
+std::vector<InferenceRequest> syntheticTrace(const TraceSpec &spec);
+
+/** Render a trace in the file format above (diffable). */
+std::string formatTrace(const std::vector<InferenceRequest> &trace);
+
+/**
+ * Parse the trace file format above; fatal on malformed lines or
+ * out-of-order arrivals. Ids are assigned in line order.
+ */
+std::vector<InferenceRequest> parseTrace(const std::string &text);
+
+} // namespace serve
+} // namespace bitfusion
+
+#endif // BITFUSION_SERVE_TRACE_H

@@ -8,12 +8,27 @@
 #include <gtest/gtest.h>
 
 #include "src/common/json.h"
+#include "src/core/artifact_cache.h"
 #include "src/dnn/model_zoo.h"
 #include "src/runner/figures.h"
 #include "src/runner/sweep.h"
 
 namespace bitfusion {
 namespace {
+
+/**
+ * Sweep options with a caller-owned artifact cache, so each test's
+ * hit/miss accounting is isolated from the process-level cache the
+ * other tests (and the serving engine) share.
+ */
+SweepOptions
+isolated(unsigned threads, ArtifactCache &cache)
+{
+    SweepOptions opts;
+    opts.threads = threads;
+    opts.cache = &cache;
+    return opts;
+}
 
 /** Small two-layer network so sweeps stay fast. */
 Network
@@ -89,10 +104,12 @@ TEST(SweepCache, OneCompilePerDistinctConfigNetworkBatch)
                       PlatformSpec::bitfusion(b, "fast")};
     spec.networks = {SweepNetwork::uniform("net64", tinyNet("net64", 64))};
 
-    const SweepResult result = SweepRunner({1}).run(spec);
+    ArtifactCache cache;
+    const SweepResult result = SweepRunner(isolated(1, cache)).run(spec);
     EXPECT_EQ(result.compileCount(), 1u);
     EXPECT_EQ(result.cacheHits(), 1u);
     EXPECT_EQ(result.cells().size(), 2u);
+    EXPECT_EQ(cache.compileCount(), 1u);
 }
 
 TEST(SweepCache, DistinctBatchesCompileSeparately)
@@ -106,9 +123,35 @@ TEST(SweepCache, DistinctBatchesCompileSeparately)
     spec.networks = {SweepNetwork::uniform("net64", tinyNet("net64", 64))};
     spec.batches = {1, 4, 16};
 
-    const SweepResult result = SweepRunner({1}).run(spec);
+    ArtifactCache cache;
+    const SweepResult result = SweepRunner(isolated(1, cache)).run(spec);
     EXPECT_EQ(result.compileCount(), 3u);
     EXPECT_EQ(result.cacheHits(), 0u);
+}
+
+TEST(SweepCache, SecondSweepReusesTheSharedCache)
+{
+    // The cache outlives a single run: a repeated sweep (same spec,
+    // same cache) performs no new compilation -- visible on the
+    // cache's own counters -- while the recorded sweep counters stay
+    // a pure function of the spec and the results stay identical.
+    const SweepSpec spec = tinySpec();
+    ArtifactCache cache;
+    const SweepResult first = SweepRunner(isolated(1, cache)).run(spec);
+    EXPECT_GT(first.compileCount(), 0u);
+    EXPECT_EQ(cache.compileCount(), first.compileCount());
+    EXPECT_EQ(cache.hitCount(), 0u);
+
+    const SweepResult again = SweepRunner(isolated(1, cache)).run(spec);
+    EXPECT_EQ(again.compileCount(), first.compileCount());
+    EXPECT_EQ(again.cacheHits(), first.cacheHits());
+    EXPECT_EQ(cache.compileCount(), first.compileCount());
+    EXPECT_EQ(cache.hitCount(), first.compileCount());
+    ASSERT_EQ(first.cells().size(), again.cells().size());
+    for (std::size_t i = 0; i < first.cells().size(); ++i) {
+        EXPECT_EQ(first.cells()[i].stats.totalCycles,
+                  again.cells()[i].stats.totalCycles);
+    }
 }
 
 TEST(SweepCache, GeometryChangeSharesCompiledNetwork)
@@ -129,7 +172,8 @@ TEST(SweepCache, GeometryChangeSharesCompiledNetwork)
                       PlatformSpec::bitfusion(c, "bigbuf")};
     spec.networks = {SweepNetwork::uniform("net64", tinyNet("net64", 64))};
 
-    const SweepResult result = SweepRunner({1}).run(spec);
+    ArtifactCache cache;
+    const SweepResult result = SweepRunner(isolated(1, cache)).run(spec);
     EXPECT_EQ(result.compileCount(), 2u);
     EXPECT_EQ(result.cacheHits(), 1u);
     // The geometry variants still simulate differently.
@@ -140,8 +184,13 @@ TEST(SweepCache, GeometryChangeSharesCompiledNetwork)
 TEST(SweepRunner, DeterministicAcrossThreadCounts)
 {
     const SweepSpec spec = tinySpec({1, 16});
-    const SweepResult serial = SweepRunner({1}).run(spec);
-    const SweepResult parallel = SweepRunner({8}).run(spec);
+    // One fresh cache per run so the recorded compile/hit counts in
+    // the JSON dumps match as well.
+    ArtifactCache cacheSerial, cacheParallel;
+    const SweepResult serial =
+        SweepRunner(isolated(1, cacheSerial)).run(spec);
+    const SweepResult parallel =
+        SweepRunner(isolated(8, cacheParallel)).run(spec);
 
     ASSERT_EQ(serial.cells().size(), parallel.cells().size());
     for (std::size_t i = 0; i < serial.cells().size(); ++i) {

@@ -1,0 +1,408 @@
+/**
+ * @file
+ * Serving-engine tests: batch coalescing against the max batch and
+ * deadlines, the batching window, latency percentiles on hand-built
+ * traces, open- and closed-loop determinism across worker-thread
+ * counts, trace round-trips, and the process-level artifact cache
+ * shared between the serving engine and the sweep runner.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/core/artifact_cache.h"
+#include "src/dnn/model_zoo.h"
+#include "src/runner/sweep.h"
+#include "src/serve/serving_engine.h"
+#include "src/sim/simulator.h"
+
+namespace bitfusion {
+namespace {
+
+using serve::ClosedLoopSpec;
+using serve::InferenceRequest;
+using serve::Percentiles;
+using serve::ServeOptions;
+using serve::ServeReport;
+using serve::ServingEngine;
+using serve::TraceSpec;
+
+/** Small two-layer network so engine runs stay fast. */
+Network
+tinyNet(const std::string &name, unsigned out_c)
+{
+    Network net(name, {});
+    net.add(Layer::fc("fc1", 64, out_c, zoo::cfg8x8()));
+    net.add(Layer::fc("fc2", out_c, 16, zoo::cfg4x4()));
+    return net;
+}
+
+/** Catalog entry whose quantized and baseline variants coincide. */
+zoo::Benchmark
+tinyBench(const std::string &name, unsigned out_c)
+{
+    zoo::Benchmark bench;
+    bench.name = name;
+    bench.quantized = tinyNet(name, out_c);
+    bench.baseline = bench.quantized;
+    return bench;
+}
+
+PlatformSpec
+bfSpec()
+{
+    return PlatformSpec::bitfusion(AcceleratorConfig::eyerissMatched45(),
+                                   "bf");
+}
+
+/** Engine over tiny networks with a private cache and fixed options. */
+ServingEngine
+tinyEngine(ArtifactCache &cache, unsigned maxBatch = 4,
+           double maxWaitUs = 0.0)
+{
+    ServeOptions opts;
+    opts.threads = 1;
+    opts.maxBatch = maxBatch;
+    opts.maxWaitUs = maxWaitUs;
+    opts.cache = &cache;
+    ServingEngine engine(bfSpec(), opts);
+    engine.setCatalog({tinyBench("netA", 64), tinyBench("netB", 128)});
+    return engine;
+}
+
+InferenceRequest
+req(std::uint64_t id, const std::string &network, unsigned samples,
+    double arrivalUs, double deadlineUs = 0.0)
+{
+    InferenceRequest r;
+    r.id = id;
+    r.network = network;
+    r.samples = samples;
+    r.arrivalUs = arrivalUs;
+    r.deadlineUs = deadlineUs;
+    return r;
+}
+
+TEST(ServePercentiles, NearestRankOnKnownSample)
+{
+    std::vector<double> values;
+    for (int i = 100; i >= 1; --i)
+        values.push_back(i);
+    const Percentiles p = serve::percentiles(values);
+    EXPECT_DOUBLE_EQ(p.p50, 50.0);
+    EXPECT_DOUBLE_EQ(p.p95, 95.0);
+    EXPECT_DOUBLE_EQ(p.p99, 99.0);
+    EXPECT_DOUBLE_EQ(p.mean, 50.5);
+    EXPECT_DOUBLE_EQ(p.max, 100.0);
+
+    const Percentiles one = serve::percentiles({42.0});
+    EXPECT_DOUBLE_EQ(one.p50, 42.0);
+    EXPECT_DOUBLE_EQ(one.p99, 42.0);
+
+    const Percentiles none = serve::percentiles({});
+    EXPECT_DOUBLE_EQ(none.p50, 0.0);
+    EXPECT_DOUBLE_EQ(none.max, 0.0);
+}
+
+TEST(ServeBatching, CoalescesFifoUpToMaxBatch)
+{
+    ArtifactCache cache;
+    ServingEngine engine = tinyEngine(cache, 4);
+    std::vector<InferenceRequest> trace;
+    for (std::uint64_t i = 0; i < 6; ++i)
+        trace.push_back(req(i, "netA", 1, 0.0));
+
+    const ServeReport report = engine.run(trace);
+    ASSERT_EQ(report.batches.size(), 2u);
+    EXPECT_EQ(report.batches[0].samples, 4u);
+    EXPECT_EQ(report.batches[0].requests, 4u);
+    EXPECT_EQ(report.batches[1].samples, 2u);
+    ASSERT_EQ(report.requests.size(), 6u);
+    // FIFO: the first four requests ride the first batch.
+    for (std::uint64_t i = 0; i < 6; ++i) {
+        EXPECT_EQ(report.requests[i].request.id, i);
+        EXPECT_EQ(report.requests[i].batchSamples, i < 4 ? 4u : 2u);
+    }
+    EXPECT_EQ(report.totalSamples, 6u);
+}
+
+TEST(ServeBatching, CoalescesWholeRequestsOnly)
+{
+    // 3+2 exceeds the cap, so the 2-sample requests pair up in the
+    // second batch; a request's samples never split across batches.
+    ArtifactCache cache;
+    ServingEngine engine = tinyEngine(cache, 4);
+    const ServeReport report = engine.run({req(0, "netA", 3, 0.0),
+                                           req(1, "netA", 2, 0.0),
+                                           req(2, "netA", 2, 0.0)});
+    ASSERT_EQ(report.batches.size(), 2u);
+    EXPECT_EQ(report.batches[0].samples, 3u);
+    EXPECT_EQ(report.batches[0].requests, 1u);
+    EXPECT_EQ(report.batches[1].samples, 4u);
+    EXPECT_EQ(report.batches[1].requests, 2u);
+}
+
+TEST(ServeBatching, HeadOfLineNetworkPicksTheBatch)
+{
+    ArtifactCache cache;
+    ServingEngine engine = tinyEngine(cache, 4);
+    const ServeReport report = engine.run(
+        {req(0, "netA", 1, 0.0), req(1, "netB", 1, 0.0),
+         req(2, "netA", 1, 0.0), req(3, "netB", 1, 0.0)});
+    ASSERT_EQ(report.batches.size(), 2u);
+    EXPECT_EQ(report.batches[0].network, "netA");
+    EXPECT_EQ(report.batches[0].samples, 2u);
+    EXPECT_EQ(report.batches[1].network, "netB");
+    EXPECT_EQ(report.batches[1].samples, 2u);
+}
+
+TEST(ServeBatching, WindowWaitsThenTimerFires)
+{
+    // A lone unfilled batch waits out the full batching window.
+    ArtifactCache cache;
+    ServingEngine engine = tinyEngine(cache, 4, 500.0);
+    const ServeReport report = engine.run({req(0, "netA", 1, 0.0)});
+    ASSERT_EQ(report.batches.size(), 1u);
+    EXPECT_DOUBLE_EQ(report.batches[0].dispatchUs, 500.0);
+    EXPECT_DOUBLE_EQ(report.requests[0].queueUs(), 500.0);
+}
+
+TEST(ServeBatching, WindowDispatchesEarlyWhenFull)
+{
+    ArtifactCache cache;
+    ServingEngine engine = tinyEngine(cache, 2, 1000.0);
+    const ServeReport report =
+        engine.run({req(0, "netA", 1, 0.0), req(1, "netA", 1, 300.0)});
+    ASSERT_EQ(report.batches.size(), 1u);
+    EXPECT_EQ(report.batches[0].samples, 2u);
+    // The batch fills at the second arrival, not at the timer.
+    EXPECT_DOUBLE_EQ(report.batches[0].dispatchUs, 300.0);
+}
+
+TEST(ServeBatching, DeadlineCutsTheWindowShort)
+{
+    // The head's 200 us deadline overrides the 1000 us window; the
+    // 500 us arrival misses the batch and is served next.
+    ArtifactCache cache;
+    ServingEngine engine = tinyEngine(cache, 4, 1000.0);
+    const ServeReport report = engine.run(
+        {req(0, "netA", 1, 0.0, 200.0), req(1, "netA", 1, 500.0)});
+    ASSERT_EQ(report.batches.size(), 2u);
+    EXPECT_DOUBLE_EQ(report.batches[0].dispatchUs, 200.0);
+    EXPECT_EQ(report.batches[0].requests, 1u);
+    EXPECT_EQ(report.deadlineMisses, 0u);
+}
+
+TEST(ServeBatching, LateDispatchCountsAsDeadlineMiss)
+{
+    // The cap-filling head batch occupies the platform; the second
+    // request's 1 us deadline passes while it queues.
+    ArtifactCache cache;
+    ServingEngine engine = tinyEngine(cache, 4);
+    const ServeReport report = engine.run(
+        {req(0, "netA", 4, 0.0), req(1, "netA", 1, 0.0, 1.0)});
+    ASSERT_EQ(report.requests.size(), 2u);
+    EXPECT_FALSE(report.requests[0].deadlineMissed);
+    EXPECT_TRUE(report.requests[1].deadlineMissed);
+    EXPECT_EQ(report.deadlineMisses, 1u);
+    EXPECT_GT(report.requests[1].dispatchUs, 1.0);
+}
+
+TEST(ServeLatency, MatchesThePlatformBatchLatency)
+{
+    // Widely spaced arrivals with no window: each request's latency
+    // is exactly its own batch-size simulation on the platform.
+    ArtifactCache cache;
+    ServingEngine engine = tinyEngine(cache, 4);
+    const ServeReport report =
+        engine.run({req(0, "netA", 1, 0.0), req(1, "netA", 4, 1e6)});
+
+    PlatformSpec spec = bfSpec();
+    spec.batch = 1;
+    const auto p1 = PlatformRegistry::builtin().build(spec);
+    const double lat1 =
+        p1->run(tinyNet("netA", 64)).seconds() * 1e6;
+    spec.batch = 4;
+    const auto p4 = PlatformRegistry::builtin().build(spec);
+    const double lat4 =
+        p4->run(tinyNet("netA", 64)).seconds() * 1e6;
+
+    ASSERT_EQ(report.requests.size(), 2u);
+    EXPECT_DOUBLE_EQ(report.requests[0].latencyUs(), lat1);
+    EXPECT_DOUBLE_EQ(report.requests[0].queueUs(), 0.0);
+    // finish - arrival reassociates the sum, so allow one ulp of the
+    // 1e6 us arrival offset.
+    EXPECT_NEAR(report.requests[1].latencyUs(), lat4, 1e-6);
+}
+
+TEST(ServeDeterminism, ThreadCountDoesNotChangeTheReport)
+{
+    TraceSpec traceSpec;
+    traceSpec.seed = 11;
+    traceSpec.requests = 200;
+    traceSpec.meanGapUs = 50.0;
+    traceSpec.maxSamples = 4;
+    traceSpec.networks = {"netA", "netB"};
+    const auto trace = serve::syntheticTrace(traceSpec);
+
+    ArtifactCache cache1, cacheN;
+    ServeOptions opts;
+    opts.maxBatch = 4;
+    opts.maxWaitUs = 100.0;
+    opts.threads = 1;
+    opts.cache = &cache1;
+    ServingEngine serial(bfSpec(), opts);
+    serial.setCatalog({tinyBench("netA", 64), tinyBench("netB", 128)});
+    opts.threads = 8;
+    opts.cache = &cacheN;
+    ServingEngine parallel(bfSpec(), opts);
+    parallel.setCatalog({tinyBench("netA", 64), tinyBench("netB", 128)});
+
+    const std::string a = serial.run(trace).json(true);
+    const std::string b = parallel.run(trace).json(true);
+    EXPECT_EQ(a, b);
+}
+
+TEST(ServeDeterminism, SyntheticTraceIsSeedStable)
+{
+    TraceSpec spec;
+    spec.seed = 5;
+    spec.requests = 50;
+    const auto a = serve::syntheticTrace(spec);
+    const auto b = serve::syntheticTrace(spec);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].network, b[i].network);
+        EXPECT_EQ(a[i].samples, b[i].samples);
+        EXPECT_DOUBLE_EQ(a[i].arrivalUs, b[i].arrivalUs);
+    }
+    spec.seed = 6;
+    const auto c = serve::syntheticTrace(spec);
+    bool differs = false;
+    for (std::size_t i = 0; i < a.size() && !differs; ++i)
+        differs = a[i].network != c[i].network ||
+                  a[i].arrivalUs != c[i].arrivalUs;
+    EXPECT_TRUE(differs);
+}
+
+TEST(ServeClosedLoop, ServesExactlyTheQuota)
+{
+    ArtifactCache cache;
+    ServingEngine engine = tinyEngine(cache, 4);
+    ClosedLoopSpec load;
+    load.clients = 3;
+    load.requests = 10;
+    load.samples = 2;
+    load.networks = {"netA"};
+    const ServeReport report = engine.runClosedLoop(load);
+    EXPECT_EQ(report.mode, "closed-loop");
+    ASSERT_EQ(report.requests.size(), 10u);
+    EXPECT_EQ(report.totalSamples, 20u);
+    for (std::size_t i = 0; i < report.requests.size(); ++i)
+        EXPECT_EQ(report.requests[i].request.id, i);
+
+    // Same seed, fresh engine: byte-identical report.
+    ArtifactCache cache2;
+    ServingEngine again = tinyEngine(cache2, 4);
+    EXPECT_EQ(again.runClosedLoop(load).json(true), report.json(true));
+}
+
+TEST(ServeCache, SharedWithTheSweepRunnerAcrossSubsystems)
+{
+    // A sweep compiles (netA, batch 16); the serving engine then
+    // serves a 16-sample request of the same network on the same
+    // platform configuration without recompiling.
+    ArtifactCache cache;
+    SweepSpec spec;
+    spec.name = "warm";
+    spec.platforms = {bfSpec()};
+    spec.networks = {SweepNetwork::uniform("netA", tinyNet("netA", 64))};
+    SweepOptions sweepOpts;
+    sweepOpts.threads = 1;
+    sweepOpts.cache = &cache;
+    const SweepResult sweep = SweepRunner(sweepOpts).run(spec);
+    EXPECT_EQ(sweep.compileCount(), 1u);
+    EXPECT_EQ(cache.compileCount(), 1u);
+
+    ServeOptions opts;
+    opts.threads = 1;
+    opts.cache = &cache;
+    ServingEngine engine(bfSpec(), opts); // platform batch 16
+    engine.setCatalog({tinyBench("netA", 64)});
+    const ServeReport report = engine.run({req(0, "netA", 16, 0.0)});
+    EXPECT_EQ(report.compiles, 0u);
+    EXPECT_GE(report.cacheHits, 1u);
+    EXPECT_EQ(cache.compileCount(), 1u);
+
+    // And the reverse: a repeated sweep performs no new compilation
+    // (the cache's compile counter stays put).
+    const SweepResult again = SweepRunner(sweepOpts).run(spec);
+    EXPECT_EQ(again.compileCount(), 1u);
+    EXPECT_EQ(cache.compileCount(), 1u);
+}
+
+TEST(ServeCache, OneCompilePerDistinctShape)
+{
+    // Three batch shapes of netA, one of netB: four compiles, and
+    // repeating every shape adds only hits.
+    ArtifactCache cache;
+    ServingEngine engine = tinyEngine(cache, 4);
+    const ServeReport report = engine.run(
+        {req(0, "netA", 1, 0.0), req(1, "netA", 2, 1e7),
+         req(2, "netA", 1, 2e7), req(3, "netA", 4, 3e7),
+         req(4, "netB", 4, 4e7), req(5, "netA", 4, 5e7)});
+    // Prewarm compiles both networks at the cap (4); the 1- and
+    // 2-sample shapes compile lazily at dispatch.
+    EXPECT_EQ(cache.compileCount(), 4u);
+    EXPECT_EQ(report.compiles, 4u);
+    EXPECT_EQ(report.distinctBatchShapes, 4u);
+    EXPECT_EQ(report.batches.size(), 6u);
+}
+
+TEST(ServeTrace, FormatParseRoundTrip)
+{
+    TraceSpec spec;
+    spec.seed = 9;
+    spec.requests = 20;
+    spec.deadlineSlackUs = 1234.5;
+    const auto trace = serve::syntheticTrace(spec);
+    const std::string text = serve::formatTrace(trace);
+    const auto parsed = serve::parseTrace(text);
+    ASSERT_EQ(parsed.size(), trace.size());
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        EXPECT_EQ(parsed[i].id, i);
+        EXPECT_EQ(parsed[i].network, trace[i].network);
+        EXPECT_EQ(parsed[i].samples, trace[i].samples);
+        EXPECT_NEAR(parsed[i].arrivalUs, trace[i].arrivalUs, 1e-6);
+        EXPECT_NEAR(parsed[i].deadlineUs, trace[i].deadlineUs, 1e-6);
+    }
+    // Formatting the parsed trace reproduces the text byte-for-byte.
+    EXPECT_EQ(serve::formatTrace(parsed), text);
+
+    EXPECT_TRUE(serve::parseTrace("# only a comment\n\n").empty());
+}
+
+TEST(ServeDeath, RejectsBadTracesAndRequests)
+{
+    EXPECT_DEATH(serve::parseTrace("12.0 netA\n"), "malformed");
+    EXPECT_DEATH(serve::parseTrace("5.0 netA 1\n1.0 netA 1\n"),
+                 "out of order");
+    EXPECT_DEATH(serve::parseTrace("5.0 netA 0\n"),
+                 "bad sample count");
+    EXPECT_DEATH(serve::parseTrace("5.0 netA -1\n"),
+                 "bad sample count");
+    EXPECT_DEATH(serve::parseTrace("5.0 netA 1 garbage\n"),
+                 "malformed deadline");
+    EXPECT_DEATH(serve::parseTrace("5.0 netA 1 9.0 extra\n"),
+                 "trailing");
+
+    ArtifactCache cache;
+    ServingEngine engine = tinyEngine(cache, 4);
+    EXPECT_DEATH(engine.run({req(0, "netA", 5, 0.0)}), "max batch");
+    EXPECT_DEATH(engine.run({req(0, "nope", 1, 0.0)}), "no network");
+    EXPECT_DEATH(engine.run({req(0, "netA", 1, 5.0),
+                             req(1, "netA", 1, 0.0)}),
+                 "arrival-ordered");
+}
+
+} // namespace
+} // namespace bitfusion

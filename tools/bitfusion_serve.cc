@@ -1,0 +1,265 @@
+/**
+ * @file
+ * bitfusion_serve: drive the dynamic-batching serving layer.
+ *
+ *   bitfusion_serve --platform bitfusion --timing overlap
+ *   bitfusion_serve --requests 1000 --seed 7 --mean-gap-us 1500
+ *                   --max-wait-us 500 --deadline-us 20000
+ *   bitfusion_serve --trace trace.txt --json report.json
+ *   bitfusion_serve --closed-loop 8 --requests 512
+ *
+ * Default mode is a seeded synthetic open-loop trace (Poisson
+ * arrivals over the eight paper benchmarks); --trace serves a trace
+ * file instead (see src/serve/trace.h for the format), and
+ * --closed-loop N runs N always-outstanding clients. Output is
+ * byte-identical for a fixed seed/trace regardless of --threads.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/common/cli.h"
+#include "src/common/logging.h"
+#include "src/serve/serving_engine.h"
+
+namespace {
+
+using namespace bitfusion;
+using namespace bitfusion::serve;
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [--platform KIND[:VARIANT]] [--timing simple|overlap]\n"
+        "  open loop (default): [--requests N] [--seed S]\n"
+        "      [--mean-gap-us G] [--req-samples MAX] [--deadline-us D]\n"
+        "      [--networks A,B,...] [--trace PATH] [--dump-trace PATH]\n"
+        "  closed loop: --closed-loop CLIENTS [--requests N]\n"
+        "      [--samples PER_REQUEST] [--seed S] [--networks A,B,...]\n"
+        "  batching: [--max-batch B] [--max-wait-us W]\n"
+        "  output: [--json PATH] [--per-request] [--threads N]\n",
+        argv0);
+    return 2;
+}
+
+std::vector<std::string>
+splitList(const std::string &csv)
+{
+    std::vector<std::string> out;
+    std::istringstream in(csv);
+    std::string item;
+    while (std::getline(in, item, ',')) {
+        if (!item.empty())
+            out.push_back(item);
+    }
+    return out;
+}
+
+void
+printPercentiles(const char *label, const Percentiles &p)
+{
+    std::printf("%s p50 %10.1f   p95 %10.1f   p99 %10.1f   "
+                "mean %10.1f   max %10.1f\n",
+                label, p.p50, p.p95, p.p99, p.mean, p.max);
+}
+
+void
+printReport(const ServeReport &report)
+{
+    std::printf("=== Serving %s (%s, timing=%s, max batch %u"
+                ", window %.0f us) ===\n\n",
+                report.platform.c_str(), report.mode.c_str(),
+                toString(report.timing), report.maxBatch,
+                report.maxWaitUs);
+    std::printf("requests: %zu (%llu samples) in %.1f ms of virtual "
+                "time\n",
+                report.requests.size(),
+                static_cast<unsigned long long>(report.totalSamples),
+                report.makespanUs / 1000.0);
+    std::printf("batches:  %zu dispatched, mean fill %.1f%%, %zu "
+                "distinct (network, batch) shapes\n",
+                report.batches.size(), 100.0 * report.batchFill(),
+                report.distinctBatchShapes);
+    std::printf("throughput: %.1f requests/s, %.1f samples/s\n\n",
+                report.requestsPerSec(), report.samplesPerSec());
+    printPercentiles("latency (us):", report.latencyUs());
+    printPercentiles("queue   (us):", report.queueUs());
+    std::printf("\ndeadline misses: %zu\n", report.deadlineMisses);
+    if (report.energyJ > 0.0) {
+        std::printf("energy: %.4f J (%.2f uJ/sample)\n", report.energyJ,
+                    1e6 * report.energyJ /
+                        static_cast<double>(report.totalSamples));
+    } else {
+        std::printf("energy: - (platform models time only)\n");
+    }
+    std::printf("artifact cache: %zu compiles, %zu hits\n",
+                report.compiles, report.cacheHits);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string platformToken = "bitfusion";
+    std::string tracePath, dumpTracePath, jsonPath;
+    TraceSpec traceSpec;
+    ClosedLoopSpec closedSpec;
+    ServeOptions options;
+    bool closedLoop = false;
+    bool perRequest = false;
+    std::string openOnlyFlag, closedOnlyFlag, generatorFlag;
+
+    // Time-valued flags accept fractions; counts and seeds must be
+    // exact integers (a seed routed through a double would silently
+    // round above 2^53).
+    const auto numArg = [&](int &i, const char *flag) {
+        return cli::doubleArg(argc, argv, i, flag);
+    };
+    const auto intArg = [&](int &i, const char *flag) {
+        return cli::uintArg(argc, argv, i, flag);
+    };
+    // Flags stored in 32-bit fields reject what a cast would truncate.
+    const auto int32Arg = [&](int &i, const char *flag) {
+        return static_cast<unsigned>(
+            cli::uintArg(argc, argv, i, flag, UINT32_MAX));
+    };
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--platform" && i + 1 < argc) {
+            platformToken = argv[++i];
+        } else if (arg == "--timing") {
+            options.timing = timingArg(argc, argv, i);
+        } else if (arg == "--threads") {
+            options.threads = int32Arg(i, "--threads");
+        } else if (arg == "--requests") {
+            traceSpec.requests =
+                static_cast<std::size_t>(intArg(i, "--requests"));
+            closedSpec.requests = traceSpec.requests;
+            generatorFlag = arg;
+        } else if (arg == "--seed") {
+            traceSpec.seed = intArg(i, "--seed");
+            closedSpec.seed = traceSpec.seed;
+            generatorFlag = arg;
+        } else if (arg == "--mean-gap-us") {
+            traceSpec.meanGapUs = numArg(i, "--mean-gap-us");
+            openOnlyFlag = arg;
+            generatorFlag = arg;
+        } else if (arg == "--req-samples") {
+            traceSpec.maxSamples = int32Arg(i, "--req-samples");
+            openOnlyFlag = arg;
+            generatorFlag = arg;
+        } else if (arg == "--deadline-us") {
+            traceSpec.deadlineSlackUs = numArg(i, "--deadline-us");
+            openOnlyFlag = arg;
+            generatorFlag = arg;
+        } else if (arg == "--networks" && i + 1 < argc) {
+            traceSpec.networks = splitList(argv[++i]);
+            closedSpec.networks = traceSpec.networks;
+            generatorFlag = arg;
+        } else if (arg == "--max-batch") {
+            options.maxBatch = int32Arg(i, "--max-batch");
+        } else if (arg == "--max-wait-us") {
+            options.maxWaitUs = numArg(i, "--max-wait-us");
+        } else if (arg == "--closed-loop") {
+            closedLoop = true;
+            closedSpec.clients = int32Arg(i, "--closed-loop");
+        } else if (arg == "--samples") {
+            closedSpec.samples = int32Arg(i, "--samples");
+            closedOnlyFlag = arg;
+        } else if (arg == "--trace" && i + 1 < argc) {
+            tracePath = argv[++i];
+            openOnlyFlag = arg;
+        } else if (arg == "--dump-trace" && i + 1 < argc) {
+            dumpTracePath = argv[++i];
+            openOnlyFlag = arg;
+        } else if (arg == "--json" && i + 1 < argc) {
+            jsonPath = argv[++i];
+        } else if (arg == "--per-request") {
+            perRequest = true;
+        } else {
+            return usage(argv[0]);
+        }
+    }
+    // A flag that only affects the other mode would be silently
+    // ignored; reject it so nobody benchmarks the wrong workload.
+    if (closedLoop && !openOnlyFlag.empty()) {
+        std::fprintf(stderr, "%s only applies to open-loop mode\n",
+                     openOnlyFlag.c_str());
+        return 2;
+    }
+    if (!closedLoop && !closedOnlyFlag.empty()) {
+        std::fprintf(stderr,
+                     "%s only applies to --closed-loop mode\n",
+                     closedOnlyFlag.c_str());
+        return 2;
+    }
+    // A trace file fixes the workload; request-generator flags would
+    // be silently overridden by it.
+    if (!tracePath.empty() && !generatorFlag.empty()) {
+        std::fprintf(stderr,
+                     "%s configures the synthetic generator and has "
+                     "no effect with --trace\n",
+                     generatorFlag.c_str());
+        return 2;
+    }
+
+    const PlatformSpec spec =
+        PlatformRegistry::builtin().parse(platformToken);
+    ServingEngine engine(spec, options);
+
+    // Request sizes are bounded by the coalescing cap; both are
+    // known from the flags, so fail before any work happens.
+    const unsigned cap = engine.maxBatch();
+    const unsigned perRequestSamples =
+        closedLoop ? closedSpec.samples
+                   : (tracePath.empty() ? traceSpec.maxSamples : 0);
+    if (perRequestSamples > cap) {
+        std::fprintf(stderr,
+                     "%s %u exceeds the max batch of %u samples "
+                     "(--max-batch or the platform batch)\n",
+                     closedLoop ? "--samples" : "--req-samples",
+                     perRequestSamples, cap);
+        return 2;
+    }
+
+    ServeReport report;
+    if (closedLoop) {
+        report = engine.runClosedLoop(closedSpec);
+    } else {
+        std::vector<InferenceRequest> trace;
+        if (!tracePath.empty()) {
+            std::ifstream in(tracePath);
+            if (!in)
+                BF_FATAL("cannot read trace '", tracePath, "'");
+            std::stringstream text;
+            text << in.rdbuf();
+            trace = parseTrace(text.str());
+        } else {
+            trace = syntheticTrace(traceSpec);
+        }
+        if (!dumpTracePath.empty()) {
+            std::ofstream out(dumpTracePath);
+            if (!out)
+                BF_FATAL("cannot write trace to '", dumpTracePath, "'");
+            out << formatTrace(trace);
+        }
+        report = engine.run(trace);
+    }
+
+    printReport(report);
+    if (!jsonPath.empty()) {
+        std::ofstream out(jsonPath);
+        if (!out)
+            BF_FATAL("cannot write JSON to '", jsonPath, "'");
+        out << report.json(perRequest) << "\n";
+    }
+    return 0;
+}

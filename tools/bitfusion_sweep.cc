@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/cli.h"
 #include "src/core/platform_registry.h"
 #include "src/runner/figures.h"
 
@@ -71,20 +72,15 @@ main(int argc, char **argv)
                 return 2;
             }
             batch = static_cast<unsigned>(value);
-        } else if (arg == "--threads" && i + 1 < argc) {
-            options.threads =
-                static_cast<unsigned>(std::atoi(argv[++i]));
+        } else if (arg == "--threads") {
+            options.threads = static_cast<unsigned>(
+                cli::uintArg(argc, argv, i, "--threads", UINT32_MAX));
         } else if (arg == "--json" && i + 1 < argc) {
             options.jsonPath = argv[++i];
         } else if (arg == "--per-layer") {
             options.perLayer = true;
-        } else if (arg == "--timing" && i + 1 < argc) {
-            if (!parseTimingModel(argv[++i], options.timing)) {
-                std::fprintf(stderr,
-                             "unknown --timing '%s' (simple|overlap)\n",
-                             argv[i]);
-                return 2;
-            }
+        } else if (arg == "--timing") {
+            options.timing = timingArg(argc, argv, i);
         } else if (arg == "--list") {
             list = true;
         } else if (arg == "--all") {
