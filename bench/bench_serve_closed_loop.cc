@@ -1,12 +1,17 @@
 /**
  * @file
  * Closed-loop serving benchmark: every paper platform under the same
- * always-outstanding client load, side by side.
+ * always-outstanding client load, side by side -- then every
+ * dispatch scheduler over one replicated fleet under the same load.
  *
  * Each platform serves the same seeded request mix (whole zoo,
  * batch-of-1 requests from N concurrent clients) through the
- * dynamic-batching ServingEngine; the table reports throughput and
- * the latency distribution per platform. Deterministic for a fixed
+ * dynamic-batching ServingEngine; the first table reports throughput
+ * and the latency distribution per platform. The second table holds
+ * the platform fixed (Bit Fusion on --replicas R replicas, requests
+ * granted a dispatch deadline) and varies the scheduler
+ * (fifo/lookahead/edf/slo), so the policies' latency, miss, and
+ * fill trade-offs line up in one place. Deterministic for a fixed
  * seed: rerunning prints byte-identical numbers.
  */
 
@@ -17,20 +22,35 @@
 
 #include "src/common/cli.h"
 #include "src/common/table.h"
+#include "src/serve/scheduler.h"
 #include "src/serve/serving_engine.h"
+
+namespace {
+
+using namespace bitfusion;
+using namespace bitfusion::serve;
+
+std::string
+num(double v, int digits)
+{
+    return TextTable::num(v, digits);
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
 {
-    using namespace bitfusion;
-    using namespace bitfusion::serve;
-
     ClosedLoopSpec load;
     load.clients = 8;
     load.requests = 256;
     load.samples = 1;
     load.seed = 1;
     ServeOptions options;
+    unsigned replicas = 2;
+    double deadlineUs = 20000.0;
+    double sloUs = 20000.0;
+    double lookaheadWindowUs = 1000.0;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -42,6 +62,13 @@ main(int argc, char **argv)
                 cli::uintArg(argc, argv, i, "--clients", UINT32_MAX));
         } else if (arg == "--seed") {
             load.seed = cli::uintArg(argc, argv, i, "--seed");
+        } else if (arg == "--replicas") {
+            replicas = static_cast<unsigned>(
+                cli::uintArg(argc, argv, i, "--replicas", UINT32_MAX));
+        } else if (arg == "--deadline-us") {
+            deadlineUs = cli::doubleArg(argc, argv, i, "--deadline-us");
+        } else if (arg == "--slo-us") {
+            sloUs = cli::doubleArg(argc, argv, i, "--slo-us");
         } else if (arg == "--threads") {
             options.threads = static_cast<unsigned>(
                 cli::uintArg(argc, argv, i, "--threads", UINT32_MAX));
@@ -50,11 +77,16 @@ main(int argc, char **argv)
         } else {
             std::fprintf(stderr,
                          "usage: %s [--requests N] [--clients C] "
-                         "[--seed S] [--threads N] "
+                         "[--seed S] [--replicas R] [--deadline-us D] "
+                         "[--slo-us B] [--threads N] "
                          "[--timing simple|overlap]\n",
                          argv[0]);
             return 2;
         }
+    }
+    if (replicas == 0) {
+        std::fprintf(stderr, "--replicas must be at least 1\n");
+        return 2;
     }
 
     std::printf("=== Closed-loop serving: %zu requests, %u clients, "
@@ -77,18 +109,48 @@ main(int argc, char **argv)
                 ? 1e6 * report.energyJ /
                       static_cast<double>(report.totalSamples)
                 : 0.0;
-        table.addRow({report.platform, TextTable::num(
-                          report.requestsPerSec(), 1),
-                      TextTable::num(report.samplesPerSec(), 1),
-                      TextTable::num(lat.p50, 1),
-                      TextTable::num(lat.p99, 1),
-                      TextTable::num(100.0 * report.batchFill(), 1) +
-                          "%",
-                      uj > 0.0 ? TextTable::num(uj, 2) : "-"});
+        table.addRow({report.platform, num(report.requestsPerSec(), 1),
+                      num(report.samplesPerSec(), 1), num(lat.p50, 1),
+                      num(lat.p99, 1),
+                      num(100.0 * report.batchFill(), 1) + "%",
+                      uj > 0.0 ? num(uj, 2) : "-"});
     }
     table.print();
     std::printf("\n(one accelerator per platform; clients keep one "
                 "request outstanding; requests coalesce up to the "
                 "platform batch)\n");
+
+    // ------------------------------------------- scheduler comparison
+    ClosedLoopSpec deadlined = load;
+    deadlined.deadlineSlackUs = deadlineUs;
+
+    std::printf("\n=== Schedulers: bitfusion x%u, deadline %.0f us, "
+                "slo budget %.0f us ===\n\n",
+                replicas, deadlineUs, sloUs);
+    TextTable sched({"Scheduler", "req/s", "p50 us", "p99 us",
+                     "misses", "fill", "batches"});
+    for (const char *name : {"fifo", "lookahead", "edf", "slo"}) {
+        ServeOptions opts = options;
+        opts.replicas = replicas;
+        opts.scheduler = name;
+        if (opts.scheduler == "slo")
+            opts.sloBudgetUs = sloUs;
+        if (opts.scheduler == "lookahead")
+            opts.maxWaitUs = lookaheadWindowUs;
+        ServingEngine engine(
+            PlatformRegistry::builtin().parse("bitfusion"), opts);
+        const ServeReport report = engine.runClosedLoop(deadlined);
+        const Percentiles lat = report.latencyUs();
+        sched.addRow({name, num(report.requestsPerSec(), 1),
+                      num(lat.p50, 1), num(lat.p99, 1),
+                      std::to_string(report.deadlineMisses),
+                      num(100.0 * report.batchFill(), 1) + "%",
+                      std::to_string(report.batches.size())});
+    }
+    sched.print();
+    std::printf("\n(same load on one %u-replica fleet; lookahead runs "
+                "with a %.0f us starvation window; see "
+                "docs/serving.md for the policies)\n",
+                replicas, lookaheadWindowUs);
     return 0;
 }

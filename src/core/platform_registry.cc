@@ -244,4 +244,29 @@ PlatformRegistry::parse(const std::string &token) const
     return entry->parse(variant);
 }
 
+std::vector<PlatformSpec>
+PlatformRegistry::parseFleet(const std::string &csv) const
+{
+    if (csv.empty())
+        BF_FATAL("fleet list must name at least one platform");
+    std::vector<PlatformSpec> fleet;
+    std::size_t start = 0;
+    while (start <= csv.size()) {
+        const std::size_t comma = csv.find(',', start);
+        const std::size_t end =
+            comma == std::string::npos ? csv.size() : comma;
+        const std::string token = csv.substr(start, end - start);
+        if (token.empty()) {
+            BF_FATAL("fleet list '", csv,
+                     "' has an empty element (expected "
+                     "KIND[:VARIANT],KIND[:VARIANT],...)");
+        }
+        fleet.push_back(parse(token));
+        if (comma == std::string::npos)
+            break;
+        start = comma + 1;
+    }
+    return fleet;
+}
+
 } // namespace bitfusion

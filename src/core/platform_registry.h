@@ -106,6 +106,14 @@ class PlatformRegistry
      */
     PlatformSpec parse(const std::string &token) const;
 
+    /**
+     * Parse a comma-separated fleet of platform tokens (e.g.
+     * "bitfusion,bitfusion,eyeriss,gpu:titan-xp-int8") into one spec
+     * per replica. Fatal on an empty list, an empty element, or any
+     * invalid token.
+     */
+    std::vector<PlatformSpec> parseFleet(const std::string &csv) const;
+
     const std::vector<Entry> &entries() const { return entries_; }
 
   private:

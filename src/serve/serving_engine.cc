@@ -1,8 +1,8 @@
 /**
  * @file
- * The virtual-clock event loop behind the serving engine: batch
- * selection, the batching window, memoized platform runs, and the
- * report aggregation.
+ * The virtual-clock event loop behind the serving engine: replica
+ * selection and cheapest-platform routing, scheduler-planned
+ * batches, memoized platform runs, and the report aggregation.
  */
 
 #include "src/serve/serving_engine.h"
@@ -10,14 +10,17 @@
 #include <algorithm>
 #include <cmath>
 #include <deque>
+#include <limits>
 #include <queue>
 #include <set>
+#include <sstream>
 
 #include "src/common/json.h"
 #include "src/common/logging.h"
 #include "src/common/prng.h"
 #include "src/core/artifact_cache.h"
 #include "src/runner/parallel_for.h"
+#include "src/serve/scheduler.h"
 
 namespace bitfusion {
 namespace serve {
@@ -37,6 +40,10 @@ struct ArrivalAfter
     }
 };
 
+using FutureQueue =
+    std::priority_queue<InferenceRequest,
+                        std::vector<InferenceRequest>, ArrivalAfter>;
+
 json::Value
 percentilesJson(const Percentiles &p)
 {
@@ -46,6 +53,23 @@ percentilesJson(const Percentiles &p)
         .set("p99", p.p99)
         .set("mean", p.mean)
         .set("max", p.max);
+}
+
+/** Replicas with equal keys share one PlatformClass (one compile and
+ *  one memoized simulation per shape). The key folds in the built
+ *  platform's described configuration and compile key, so two
+ *  hand-built specs that share a display name but differ in config
+ *  land in distinct classes instead of silently merging. */
+std::string
+classKey(const PlatformSpec &spec, const Platform &built)
+{
+    const PlatformInfo info = built.describe();
+    std::ostringstream key;
+    key << spec.kind() << '|' << spec.name << '|'
+        << spec.effectiveBatch() << (spec.runsQuantized ? "|q|" : "|b|")
+        << info.compute << '|' << info.freqMHz << '|' << info.onChipBits
+        << '|' << info.bwBitsPerCycle << '|' << built.compileKey();
+    return key.str();
 }
 
 } // namespace
@@ -127,13 +151,27 @@ ServeReport::batchFill() const
             static_cast<double>(maxBatch));
 }
 
+bool
+ServeReport::fleetReport() const
+{
+    return replicas.size() > 1 || scheduler != "fifo";
+}
+
 std::string
 ServeReport::json(bool per_request) const
 {
+    // The fleet-era fields are gated so a one-replica fifo report
+    // keeps the engine's original JSON shape byte-for-byte.
+    const bool fleet = fleetReport();
+
     json::Value doc = json::Value::object();
-    doc.set("serve", mode)
-        .set("platform", platform)
-        .set("timing", toString(timing))
+    doc.set("serve", mode).set("platform", platform);
+    if (fleet) {
+        doc.set("scheduler", scheduler);
+        if (sloBudgetUs > 0.0)
+            doc.set("slo_budget_us", sloBudgetUs);
+    }
+    doc.set("timing", toString(timing))
         .set("max_batch", maxBatch)
         .set("max_wait_us", maxWaitUs)
         .set("requests", static_cast<std::uint64_t>(requests.size()))
@@ -153,25 +191,43 @@ ServeReport::json(bool per_request) const
         .set("energy_per_sample_j",
              totalSamples != 0
                  ? energyJ / static_cast<double>(totalSamples)
-                 : 0.0)
-        .set("cache", json::Value::object()
-                          .set("compiles",
-                               static_cast<std::uint64_t>(compiles))
-                          .set("hits", static_cast<std::uint64_t>(
-                                           cacheHits)));
+                 : 0.0);
+    if (fleet) {
+        json::Value reps = json::Value::array();
+        for (const auto &r : replicas) {
+            reps.push(json::Value::object()
+                          .set("platform", r.platform)
+                          .set("batches",
+                               static_cast<std::uint64_t>(r.batches))
+                          .set("samples", r.samples)
+                          .set("busy_us", r.busyUs)
+                          .set("utilization", r.utilization)
+                          .set("energy_j", r.energyJ));
+        }
+        doc.set("replicas", std::move(reps));
+    }
+    doc.set("cache", json::Value::object()
+                         .set("compiles",
+                              static_cast<std::uint64_t>(compiles))
+                         .set("hits", static_cast<std::uint64_t>(
+                                          cacheHits)));
 
     if (per_request) {
         json::Value recs = json::Value::array();
         for (const auto &r : requests) {
-            recs.push(json::Value::object()
-                          .set("id", r.request.id)
-                          .set("network", r.request.network)
-                          .set("samples", r.request.samples)
-                          .set("arrival_us", r.request.arrivalUs)
-                          .set("dispatch_us", r.dispatchUs)
-                          .set("finish_us", r.finishUs)
-                          .set("batch_samples", r.batchSamples)
-                          .set("deadline_missed", r.deadlineMissed));
+            json::Value rec =
+                json::Value::object()
+                    .set("id", r.request.id)
+                    .set("network", r.request.network)
+                    .set("samples", r.request.samples)
+                    .set("arrival_us", r.request.arrivalUs)
+                    .set("dispatch_us", r.dispatchUs)
+                    .set("finish_us", r.finishUs)
+                    .set("batch_samples", r.batchSamples);
+            if (fleet)
+                rec.set("replica", r.replica);
+            rec.set("deadline_missed", r.deadlineMissed);
+            recs.push(std::move(rec));
         }
         doc.set("request_records", std::move(recs));
     }
@@ -181,8 +237,50 @@ ServeReport::json(bool per_request) const
 // -------------------------------------------------------- ServingEngine
 
 ServingEngine::ServingEngine(PlatformSpec spec, ServeOptions opts)
-    : spec_(std::move(spec)), opts_(opts)
+    : ServingEngine(std::vector<PlatformSpec>{std::move(spec)},
+                    std::move(opts))
+{}
+
+ServingEngine::ServingEngine(std::vector<PlatformSpec> fleet,
+                             ServeOptions opts)
+    : opts_(std::move(opts))
 {
+    if (fleet.empty())
+        BF_FATAL("serving fleet must not be empty");
+    if (opts_.replicas == 0)
+        BF_FATAL("serving needs at least one replica");
+    if (opts_.replicas > 1 && fleet.size() > 1) {
+        BF_FATAL("give either one spec with ServeOptions.replicas or "
+                 "an explicit fleet, not both");
+    }
+    if (fleet.size() == 1 && opts_.replicas > 1)
+        fleet.resize(opts_.replicas, fleet.front());
+
+    std::vector<std::string> keys;
+    for (auto &spec : fleet) {
+        std::unique_ptr<Platform> built =
+            PlatformRegistry::builtin().build(spec);
+        const std::string key = classKey(spec, *built);
+        std::size_t cls = classes_.size();
+        for (std::size_t c = 0; c < classes_.size(); ++c) {
+            if (keys[c] == key) {
+                cls = c;
+                break;
+            }
+        }
+        if (cls == classes_.size()) {
+            classes_.emplace_back();
+            keys.push_back(key);
+            const unsigned batch = spec.effectiveBatch();
+            classes_.back().spec = std::move(spec);
+            // Seed the built platform; platformFor reuses it.
+            classes_.back().platforms.emplace(batch, std::move(built));
+        }
+        Replica replica;
+        replica.cls = cls;
+        replicas_.push_back(replica);
+    }
+
     cache_ = opts_.cache != nullptr ? opts_.cache
                                     : &ArtifactCache::process();
     for (const auto &bench : zoo::all())
@@ -195,14 +293,19 @@ ServingEngine::setCatalog(std::vector<zoo::Benchmark> catalog)
     if (catalog.empty())
         BF_FATAL("serving catalog must not be empty");
     catalog_ = std::move(catalog);
-    memo_.clear();
+    for (auto &cls : classes_)
+        cls.memo.clear();
 }
 
 unsigned
 ServingEngine::maxBatch() const
 {
-    return opts_.maxBatch != 0 ? opts_.maxBatch
-                               : spec_.effectiveBatch();
+    if (opts_.maxBatch != 0)
+        return opts_.maxBatch;
+    unsigned best = 0;
+    for (const auto &cls : classes_)
+        best = std::max(best, cls.spec.effectiveBatch());
+    return best;
 }
 
 const zoo::Benchmark &
@@ -216,19 +319,21 @@ ServingEngine::benchmark(const std::string &name) const
 }
 
 const Network &
-ServingEngine::variant(const zoo::Benchmark &bench) const
+ServingEngine::variant(const zoo::Benchmark &bench,
+                       const PlatformSpec &spec) const
 {
-    return spec_.runsQuantized ? bench.quantized : bench.baseline;
+    return spec.runsQuantized ? bench.quantized : bench.baseline;
 }
 
 const Platform &
-ServingEngine::platformFor(unsigned batch)
+ServingEngine::platformFor(std::size_t cls, unsigned batch)
 {
-    auto it = platforms_.find(batch);
-    if (it == platforms_.end()) {
-        PlatformSpec spec = spec_;
+    PlatformClass &entry = classes_[cls];
+    auto it = entry.platforms.find(batch);
+    if (it == entry.platforms.end()) {
+        PlatformSpec spec = entry.spec;
         spec.batch = batch;
-        it = platforms_
+        it = entry.platforms
                  .emplace(batch, PlatformRegistry::builtin().build(spec))
                  .first;
     }
@@ -236,20 +341,83 @@ ServingEngine::platformFor(unsigned batch)
 }
 
 const RunStats &
-ServingEngine::statsFor(const std::string &network, unsigned batch)
+ServingEngine::statsFor(std::size_t cls, const std::string &network,
+                        unsigned batch)
 {
+    PlatformClass &entry = classes_[cls];
     const auto key = std::make_pair(network, batch);
-    auto it = memo_.find(key);
-    if (it != memo_.end())
+    auto it = entry.memo.find(key);
+    if (it != entry.memo.end())
         return it->second;
 
-    const Platform &platform = platformFor(batch);
-    const Network &net = variant(benchmark(network));
+    const Platform &platform = platformFor(cls, batch);
+    const Network &net = variant(benchmark(network), entry.spec);
     const ArtifactCache::Outcome out = cache_->get(platform, net);
     RunOptions runOpts;
     runOpts.timing = opts_.timing;
     runOpts.artifact = out.artifact.get();
-    return memo_.emplace(key, platform.run(net, runOpts)).first->second;
+    return entry.memo.emplace(key, platform.run(net, runOpts))
+        .first->second;
+}
+
+double
+ServingEngine::cheapestFreeLatencyUs(const std::string &network,
+                                     unsigned batch, double now)
+{
+    // Only classes with a replica free at the planning time can
+    // receive the batch, so the estimate handed to schedulers is an
+    // upper bound on the routed latency: the free set only grows
+    // between planning and dispatch, and routing takes its minimum.
+    double best = std::numeric_limits<double>::infinity();
+    for (std::size_t c = 0; c < classes_.size(); ++c) {
+        bool free = false;
+        for (const auto &replica : replicas_)
+            free = free || (replica.cls == c && replica.freeAt <= now);
+        if (!free)
+            continue;
+        best = std::min(best, statsFor(c, network, batch).seconds() * 1e6);
+    }
+    return best;
+}
+
+std::size_t
+ServingEngine::memoSize() const
+{
+    std::size_t total = 0;
+    for (const auto &cls : classes_)
+        total += cls.memo.size();
+    return total;
+}
+
+std::string
+ServingEngine::fleetName() const
+{
+    if (replicas_.size() == 1)
+        return classes_.front().spec.name;
+    std::string name;
+    for (std::size_t c = 0; c < classes_.size(); ++c) {
+        std::size_t count = 0;
+        for (const auto &r : replicas_)
+            count += r.cls == c ? 1 : 0;
+        if (!name.empty())
+            name += " + ";
+        name += classes_[c].spec.name;
+        if (count > 1)
+            name += " x" + std::to_string(count);
+    }
+    return name;
+}
+
+void
+ServingEngine::validateRequest(const InferenceRequest &req,
+                               unsigned cap) const
+{
+    if (req.samples == 0 || req.samples > cap) {
+        BF_FATAL("request ", req.id, " has ", req.samples,
+                 " samples; the engine coalesces whole requests "
+                 "up to max batch ",
+                 cap);
+    }
 }
 
 void
@@ -257,18 +425,73 @@ ServingEngine::precompile(const std::vector<std::string> &networks)
 {
     std::set<std::string> names(networks.begin(), networks.end());
 
-    // Resolve every named network (fatal on unknown) and build the
-    // full-batch platform before fanning out; the workers then only
-    // touch the thread-safe artifact cache.
-    std::vector<const Network *> nets;
-    for (const auto &name : names)
-        nets.push_back(&variant(benchmark(name)));
-    const Platform &platform = platformFor(maxBatch());
+    // Resolve every named network (fatal on unknown) and build each
+    // class's full-batch platform before fanning out; the workers
+    // then only touch the thread-safe artifact cache.
+    std::vector<std::pair<const Platform *, const Network *>> tasks;
+    for (std::size_t c = 0; c < classes_.size(); ++c) {
+        const Platform &platform = platformFor(c, maxBatch());
+        for (const auto &name : names) {
+            tasks.emplace_back(&platform,
+                               &variant(benchmark(name), classes_[c].spec));
+        }
+    }
 
-    parallelFor(nets.size(),
-                resolveThreads(opts_.threads, nets.size()),
-                [&](std::size_t i) { cache_->get(platform, *nets[i]); });
+    parallelFor(tasks.size(),
+                resolveThreads(opts_.threads, tasks.size()),
+                [&](std::size_t i) {
+                    cache_->get(*tasks[i].first, *tasks[i].second);
+                });
 }
+
+/** The scheduler's window into one runLoop's queues. */
+class ServingEngine::LoopContext : public SchedulerContext
+{
+  public:
+    LoopContext(ServingEngine &engine, std::deque<InferenceRequest> &queue,
+                FutureQueue &future, unsigned cap)
+        : engine_(engine), queue_(queue), future_(future), cap_(cap)
+    {}
+
+    const std::deque<InferenceRequest> &queue() const override
+    {
+        return queue_;
+    }
+
+    const InferenceRequest *nextArrival() const override
+    {
+        return future_.empty() ? nullptr : &future_.top();
+    }
+
+    void
+    absorbNextArrival() override
+    {
+        BF_ASSERT(!future_.empty());
+        engine_.validateRequest(future_.top(), cap_);
+        queue_.push_back(future_.top());
+        future_.pop();
+    }
+
+    double batchLatencyUs(const std::string &network,
+                          unsigned samples) override
+    {
+        return engine_.cheapestFreeLatencyUs(network, samples, now_);
+    }
+
+    unsigned maxBatch() const override { return cap_; }
+    double windowUs() const override { return engine_.opts_.maxWaitUs; }
+    double sloBudgetUs() const override { return engine_.opts_.sloBudgetUs; }
+
+    /** The engine advances this to each plan's virtual time. */
+    void setNow(double now) { now_ = now; }
+
+  private:
+    ServingEngine &engine_;
+    std::deque<InferenceRequest> &queue_;
+    FutureQueue &future_;
+    unsigned cap_;
+    double now_ = 0.0;
+};
 
 template <typename OnFinish>
 ServeReport
@@ -278,116 +501,125 @@ ServingEngine::runLoop(std::vector<InferenceRequest> initial,
 {
     const unsigned cap = maxBatch();
     BF_ASSERT(cap > 0);
+    std::unique_ptr<Scheduler> scheduler =
+        makeScheduler(opts_.scheduler);
+    if (opts_.scheduler == "lookahead" && opts_.maxWaitUs <= 0.0) {
+        BF_FATAL("the lookahead scheduler needs a positive batching "
+                 "window (maxWaitUs) as its head-of-line starvation "
+                 "bound");
+    }
+    if (opts_.scheduler == "slo" && opts_.sloBudgetUs <= 0.0) {
+        BF_FATAL("the slo scheduler needs a positive latency budget "
+                 "(sloBudgetUs)");
+    }
 
     const std::size_t compilesBefore = cache_->compileCount();
     const std::size_t hitsBefore = cache_->hitCount();
-    const std::size_t shapesBefore = memo_.size();
+    const std::size_t shapesBefore = memoSize();
     precompile(warmNetworks);
 
     ServeReport report;
-    report.platform = spec_.name;
+    report.platform = fleetName();
+    report.scheduler = scheduler->name();
     report.timing = opts_.timing;
     report.maxBatch = cap;
     report.maxWaitUs = opts_.maxWaitUs;
+    report.sloBudgetUs = opts_.sloBudgetUs;
 
-    std::priority_queue<InferenceRequest,
-                        std::vector<InferenceRequest>, ArrivalAfter>
-        future(ArrivalAfter{}, std::move(initial));
+    FutureQueue future(ArrivalAfter{}, std::move(initial));
     std::deque<InferenceRequest> queue;
-    double freeAt = 0.0;
+    for (auto &replica : replicas_) {
+        const std::size_t cls = replica.cls;
+        replica = Replica{};
+        replica.cls = cls;
+    }
+    LoopContext ctx(*this, queue, future, cap);
 
-    const auto validate = [&](const InferenceRequest &req) {
-        if (req.samples == 0 || req.samples > cap) {
-            BF_FATAL("request ", req.id, " has ", req.samples,
-                     " samples; the engine coalesces whole requests "
-                     "up to max batch ",
-                     cap);
-        }
-    };
     const auto absorb = [&](double now) {
         while (!future.empty() && future.top().arrivalUs <= now) {
-            validate(future.top());
+            validateRequest(future.top(), cap);
             queue.push_back(future.top());
             future.pop();
         }
     };
 
     while (!queue.empty() || !future.empty()) {
-        double now = freeAt;
+        // The earliest-free replica sets the planning clock (ties go
+        // to the lowest index).
+        std::size_t planner = 0;
+        for (std::size_t r = 1; r < replicas_.size(); ++r) {
+            if (replicas_[r].freeAt < replicas_[planner].freeAt)
+                planner = r;
+        }
+        double now = replicas_[planner].freeAt;
         if (queue.empty())
-            now = std::max(freeAt, future.top().arrivalUs);
+            now = std::max(now, future.top().arrivalUs);
         absorb(now);
+        ctx.setNow(now);
 
-        // Head-of-line batch selection: the oldest request picks the
-        // network; arrived requests of that network join in FIFO
-        // order while the whole request still fits.
-        const InferenceRequest head = queue.front();
-        unsigned samples = 0;
-        std::vector<std::size_t> members;
-        for (std::size_t i = 0; i < queue.size() && samples < cap;
-             ++i) {
-            const InferenceRequest &r = queue[i];
-            if (r.network == head.network &&
-                samples + r.samples <= cap) {
-                members.push_back(i);
-                samples += r.samples;
+        const BatchPlan plan = scheduler->plan(ctx, now);
+        BF_ASSERT(!plan.members.empty());
+        unsigned planSamples = 0;
+        double dispatch = std::max(plan.dispatchUs, now);
+        for (std::size_t i : plan.members) {
+            BF_ASSERT(i < queue.size());
+            BF_ASSERT(queue[i].network == plan.network);
+            planSamples += queue[i].samples;
+            dispatch = std::max(dispatch, queue[i].arrivalUs);
+        }
+        BF_ASSERT(planSamples == plan.samples);
+        BF_ASSERT(planSamples <= cap);
+
+        // Route to the free replica whose platform serves this
+        // network cheapest (ties go to the lowest index); the
+        // planning replica is free, so one always qualifies.
+        std::size_t chosen = planner;
+        double chosenLat = std::numeric_limits<double>::infinity();
+        for (std::size_t r = 0; r < replicas_.size(); ++r) {
+            if (replicas_[r].freeAt > dispatch)
+                continue;
+            const RunStats &candidate =
+                statsFor(replicas_[r].cls, plan.network, planSamples);
+            const double lat = candidate.seconds() * 1e6;
+            if (lat < chosenLat) {
+                chosenLat = lat;
+                chosen = r;
             }
         }
 
-        // Batching window: an unfilled batch may wait for more
-        // arrivals until the timer set at the head's arrival fires,
-        // but never past a member's deadline; it dispatches early
-        // the moment it fills.
-        double dispatch = now;
-        if (samples < cap && opts_.maxWaitUs > 0.0) {
-            double windowEnd = head.arrivalUs + opts_.maxWaitUs;
-            for (std::size_t i : members) {
-                if (queue[i].deadlineUs > 0.0)
-                    windowEnd = std::min(windowEnd, queue[i].deadlineUs);
-            }
-            windowEnd = std::max(windowEnd, now);
-            const bool waited = windowEnd > now;
-            while (samples < cap && !future.empty() &&
-                   future.top().arrivalUs <= windowEnd) {
-                const InferenceRequest next = future.top();
-                future.pop();
-                validate(next);
-                queue.push_back(next);
-                if (next.network == head.network &&
-                    samples + next.samples <= cap) {
-                    members.push_back(queue.size() - 1);
-                    samples += next.samples;
-                    dispatch = std::max(dispatch, next.arrivalUs);
-                    if (next.deadlineUs > 0.0) {
-                        windowEnd = std::min(
-                            windowEnd,
-                            std::max(next.deadlineUs, dispatch));
-                    }
-                }
-            }
-            if (samples < cap && waited)
-                dispatch = windowEnd; // the batching timer fires
-        }
-
-        // Dispatch: charge the platform's simulated batch latency.
-        const RunStats &rs = statsFor(head.network, samples);
+        // Dispatch: charge the chosen platform's simulated latency.
+        Replica &replica = replicas_[chosen];
+        const RunStats &rs = statsFor(replica.cls, plan.network, planSamples);
         const double latencyUs = rs.seconds() * 1e6;
         const double finish = dispatch + latencyUs;
-        freeAt = finish;
+        replica.freeAt = finish;
+        replica.batches += 1;
+        replica.samples += planSamples;
+        replica.busyUs += latencyUs;
+        replica.energyJ += rs.energy().totalJ();
         report.energyJ += rs.energy().totalJ();
-        report.totalSamples += samples;
-        report.makespanUs = finish;
-        report.batches.push_back(
-            {head.network, samples, members.size(), dispatch,
-             latencyUs});
+        report.totalSamples += planSamples;
+        report.makespanUs = std::max(report.makespanUs, finish);
+        BatchRecord batch;
+        batch.network = plan.network;
+        batch.samples = planSamples;
+        batch.requests = plan.members.size();
+        batch.dispatchUs = dispatch;
+        batch.latencyUs = latencyUs;
+        batch.replica = static_cast<unsigned>(chosen);
+        report.batches.push_back(std::move(batch));
 
         std::vector<InferenceRequest> injected;
-        for (std::size_t i : members) {
+        std::vector<char> member(queue.size(), 0);
+        for (std::size_t i : plan.members) {
+            BF_ASSERT(!member[i]);
+            member[i] = 1;
             RequestRecord rec;
             rec.request = queue[i];
             rec.dispatchUs = dispatch;
             rec.finishUs = finish;
-            rec.batchSamples = samples;
+            rec.batchSamples = planSamples;
+            rec.replica = static_cast<unsigned>(chosen);
             rec.deadlineMissed = rec.request.deadlineUs > 0.0 &&
                                  dispatch > rec.request.deadlineUs;
             if (rec.deadlineMissed)
@@ -397,16 +629,11 @@ ServingEngine::runLoop(std::vector<InferenceRequest> initial,
         }
         for (auto &req : injected)
             future.push(std::move(req));
-        // Compact the queue in one stable pass (members is ascending).
+        // Compact the queue in one stable pass.
         std::deque<InferenceRequest> rest;
-        std::size_t nextMember = 0;
         for (std::size_t i = 0; i < queue.size(); ++i) {
-            if (nextMember < members.size() &&
-                members[nextMember] == i) {
-                ++nextMember;
-                continue;
-            }
-            rest.push_back(std::move(queue[i]));
+            if (!member[i])
+                rest.push_back(std::move(queue[i]));
         }
         queue.swap(rest);
     }
@@ -415,7 +642,19 @@ ServingEngine::runLoop(std::vector<InferenceRequest> initial,
                      [](const RequestRecord &a, const RequestRecord &b) {
                          return a.request.id < b.request.id;
                      });
-    report.distinctBatchShapes = memo_.size() - shapesBefore;
+    for (const auto &replica : replicas_) {
+        ReplicaUsage usage;
+        usage.platform = classes_[replica.cls].spec.name;
+        usage.batches = replica.batches;
+        usage.samples = replica.samples;
+        usage.busyUs = replica.busyUs;
+        usage.utilization = report.makespanUs > 0.0
+                                ? replica.busyUs / report.makespanUs
+                                : 0.0;
+        usage.energyJ = replica.energyJ;
+        report.replicas.push_back(std::move(usage));
+    }
+    report.distinctBatchShapes = memoSize() - shapesBefore;
     report.compiles = cache_->compileCount() - compilesBefore;
     report.cacheHits = cache_->hitCount() - hitsBefore;
     return report;
@@ -464,6 +703,8 @@ ServingEngine::runClosedLoop(const ClosedLoopSpec &spec)
         req.network = networks[prng.below(networks.size())];
         req.samples = spec.samples;
         req.arrivalUs = arrivalUs;
+        if (spec.deadlineSlackUs > 0.0)
+            req.deadlineUs = arrivalUs + spec.deadlineSlackUs;
         ++issued;
         return req;
     };

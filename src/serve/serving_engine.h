@@ -2,37 +2,37 @@
  * @file
  * The dynamic-batching serving layer over Platform::run.
  *
- * The ServingEngine fronts one simulated platform instance with a
- * request queue on a virtual clock: clients submit
- * InferenceRequest{network, batch-of-inputs, deadline}, the batcher
- * coalesces compatible requests (same network, FIFO order) into
- * dynamic batches up to the platform's best batch size, and every
- * dispatch charges the platform's simulated batch latency. The
- * engine records per-request queueing and compute latency, so a run
- * reports p50/p95/p99 latency, throughput, batch fill, deadline
- * misses, and energy per platform.
- *
- * Batching policy (head-of-line, timer-based): when the platform
- * frees up, the oldest queued request picks the batch's network;
- * queued requests of that network join in FIFO order while they fit.
- * If the batch is not full and a batching window (maxWaitUs) is
- * configured, dispatch waits for more arrivals until the window
- * expires -- but never past any member's deadline -- and fires early
- * the moment the batch fills. Requests are coalesced whole (a
- * request's samples never split across batches).
+ * The ServingEngine fronts a fleet of R simulated platform replicas
+ * (possibly heterogeneous) with one request queue on a virtual
+ * clock: clients submit InferenceRequest{network, batch-of-inputs,
+ * deadline}, a pluggable Scheduler (src/serve/scheduler.h: fifo |
+ * lookahead | edf | slo) coalesces compatible requests into dynamic
+ * batches, and every dispatch is routed to the free replica that
+ * serves the batch's network cheapest and charged that platform's
+ * simulated batch latency. The engine records per-request queueing
+ * and compute latency, so a run reports p50/p95/p99 latency,
+ * throughput, batch fill, deadline misses, energy, and per-replica
+ * utilization.
  *
  * Costs come from the same Platform::run every figure uses, with
  * compiled artifacts resolved through the process-level
  * ArtifactCache (shared with the sweep runner), and the simulated
- * latency of a (network, batch-size) pair memoized after its first
- * dispatch. The worker pool (runner/parallel_for.h) precompiles
- * every distinct network at the full batch size up front; odd-sized
- * remainder batches compile on first dispatch.
+ * latency of a (platform class, network, batch-size) triple memoized
+ * after its first use. The worker pool (runner/parallel_for.h)
+ * precompiles every distinct network per platform class at the full
+ * batch size up front; odd-sized remainder batches compile on first
+ * dispatch.
  *
- * Determinism: the event loop is serial on the virtual clock and the
- * platform is a pure function of its inputs, so for a fixed trace
- * (or seed) the report -- including its JSON dump -- is byte-
- * identical for any worker-thread count.
+ * Determinism: the event loop is serial on the virtual clock,
+ * schedulers are pure policies over the queue, and the platforms are
+ * pure functions of their inputs, so for a fixed trace (or seed) the
+ * report -- including its JSON dump -- is byte-identical for any
+ * worker-thread count. With one replica and the fifo scheduler the
+ * report is additionally byte-identical to the engine's
+ * pre-scheduler output (locked by tests/golden/serve_fifo_r1.json).
+ *
+ * Policy semantics, the virtual-clock model, and the trace-file
+ * format are documented in docs/serving.md.
  */
 
 #ifndef BITFUSION_SERVE_SERVING_ENGINE_H
@@ -64,16 +64,26 @@ struct ServeOptions
     /** Phase-time composition (core/layer_walk.h). */
     TimingModel timing = TimingModel::Simple;
     /**
-     * Largest coalesced batch in samples; 0 = the platform's
-     * configured batch size (the paper's best batch).
+     * Largest coalesced batch in samples; 0 = the fleet's largest
+     * configured batch (the paper's best batch at one replica).
      */
     unsigned maxBatch = 0;
     /**
-     * Batching window: how long a dispatch may wait for more
-     * requests past the head request's arrival. 0 = dispatch
-     * immediately with whatever has arrived.
+     * Batching window: how long a fifo dispatch may wait for more
+     * requests past the head request's arrival (0 = dispatch
+     * immediately), and the lookahead scheduler's head-of-line
+     * starvation bound.
      */
     double maxWaitUs = 0.0;
+    /**
+     * Replica count when the engine is built from one PlatformSpec;
+     * must be 1 when an explicit fleet is given.
+     */
+    unsigned replicas = 1;
+    /** Dispatch policy: fifo | lookahead | edf | slo. */
+    std::string scheduler = "fifo";
+    /** End-to-end latency budget the slo scheduler sizes against. */
+    double sloBudgetUs = 0.0;
     /**
      * Compiled-artifact cache; nullptr uses the process-level
      * ArtifactCache::process() shared with the sweep runner.
@@ -92,6 +102,9 @@ struct ClosedLoopSpec
     unsigned samples = 1;
     /** PRNG seed for the per-request network choice. */
     std::uint64_t seed = 1;
+    /** Dispatch deadline granted per request after its arrival;
+     *  0 = no deadlines. */
+    double deadlineSlackUs = 0.0;
     /** Network mix; empty = the engine's whole catalog. */
     std::vector<std::string> networks;
 };
@@ -106,6 +119,8 @@ struct RequestRecord
     double finishUs = 0.0;
     /** Total samples of the coalesced batch it rode in. */
     unsigned batchSamples = 0;
+    /** Replica the batch ran on. */
+    unsigned replica = 0;
     /** True when dispatch happened after the request's deadline. */
     bool deadlineMissed = false;
 
@@ -126,6 +141,23 @@ struct BatchRecord
     double dispatchUs = 0.0;
     /** Simulated compute latency of the batch. */
     double latencyUs = 0.0;
+    /** Replica the batch ran on. */
+    unsigned replica = 0;
+};
+
+/** What one replica did over a run. */
+struct ReplicaUsage
+{
+    /** The replica's platform display name. */
+    std::string platform;
+    std::size_t batches = 0;
+    std::uint64_t samples = 0;
+    /** Summed simulated compute time of its batches. */
+    double busyUs = 0.0;
+    /** busyUs over the run's makespan. */
+    double utilization = 0.0;
+    /** Summed simulated energy of its batches. */
+    double energyJ = 0.0;
 };
 
 /** Latency summary (nearest-rank percentiles). */
@@ -146,16 +178,21 @@ struct ServeReport
 {
     /** "open-loop" or "closed-loop". */
     std::string mode;
-    /** Platform display name. */
+    /** Fleet display name ("name" or "nameA x2 + nameB"). */
     std::string platform;
+    /** Dispatch policy the run used. */
+    std::string scheduler = "fifo";
     TimingModel timing = TimingModel::Simple;
     unsigned maxBatch = 0;
     double maxWaitUs = 0.0;
+    double sloBudgetUs = 0.0;
 
     /** Served requests in id order. */
     std::vector<RequestRecord> requests;
     /** Dispatched batches in dispatch order. */
     std::vector<BatchRecord> batches;
+    /** Per-replica usage, in replica order. */
+    std::vector<ReplicaUsage> replicas;
     /** Total samples served. */
     std::uint64_t totalSamples = 0;
     std::size_t deadlineMisses = 0;
@@ -167,7 +204,7 @@ struct ServeReport
     std::size_t compiles = 0;
     /** Artifact-cache hits observed by this run. */
     std::size_t cacheHits = 0;
-    /** Distinct (network, batch-size) simulations this run added. */
+    /** Distinct (class, network, batch-size) simulations added. */
     std::size_t distinctBatchShapes = 0;
 
     Percentiles latencyUs() const;
@@ -176,6 +213,13 @@ struct ServeReport
     double samplesPerSec() const;
     /** Mean occupied fraction of the dispatched batches. */
     double batchFill() const;
+    /**
+     * True when the run used fleet-era features (R > 1 or a
+     * non-fifo scheduler); gates the report's new fields so a
+     * one-replica fifo run stays byte-identical to the
+     * pre-scheduler engine.
+     */
+    bool fleetReport() const;
 
     /**
      * Machine-readable dump. Deliberately excludes the worker-thread
@@ -186,7 +230,7 @@ struct ServeReport
 };
 
 /**
- * Serving front-end over one platform; see file docs. Not
+ * Serving front-end over a replica fleet; see file docs. Not
  * thread-safe: one engine serves one workload at a time (the
  * internal worker pool is an implementation detail).
  */
@@ -194,17 +238,26 @@ class ServingEngine
 {
   public:
     /**
-     * @p spec is the served platform (any registered kind); the
+     * Serve @p spec on opts.replicas identical replicas; the
      * catalog defaults to the eight paper benchmarks.
      */
     explicit ServingEngine(PlatformSpec spec, ServeOptions opts = {});
+    /**
+     * Serve a heterogeneous fleet, one replica per spec (any
+     * registered kinds; opts.replicas must stay 1 unless the fleet
+     * has a single spec).
+     */
+    ServingEngine(std::vector<PlatformSpec> fleet, ServeOptions opts = {});
     ServingEngine(ServingEngine &&) = default;
 
     /** Replace the network catalog (tests use tiny networks). */
     void setCatalog(std::vector<zoo::Benchmark> catalog);
 
-    /** The coalescing limit in samples (option or platform batch). */
+    /** The coalescing limit in samples (option or fleet batch). */
     unsigned maxBatch() const;
+
+    /** Replicas behind the queue. */
+    std::size_t replicaCount() const { return replicas_.size(); }
 
     /** Serve an arrival-ordered open-loop trace to completion. */
     ServeReport run(const std::vector<InferenceRequest> &trace);
@@ -213,24 +266,52 @@ class ServingEngine
     ServeReport runClosedLoop(const ClosedLoopSpec &spec);
 
   private:
+    class LoopContext;
+
+    /** One distinct platform configuration; replicas share these so
+     *  R identical replicas compile and simulate each shape once. */
+    struct PlatformClass
+    {
+        PlatformSpec spec;
+        /** Built platform per batch size (batch binds at build). */
+        std::map<unsigned, std::unique_ptr<Platform>> platforms;
+        /** Memoized simulation per (network, batch-size). */
+        std::map<std::pair<std::string, unsigned>, RunStats> memo;
+    };
+
+    struct Replica
+    {
+        std::size_t cls = 0;
+        double freeAt = 0.0;
+        std::size_t batches = 0;
+        std::uint64_t samples = 0;
+        double busyUs = 0.0;
+        double energyJ = 0.0;
+    };
+
     const zoo::Benchmark &benchmark(const std::string &name) const;
-    const Network &variant(const zoo::Benchmark &bench) const;
-    const Platform &platformFor(unsigned batch);
-    const RunStats &statsFor(const std::string &network, unsigned batch);
+    const Network &variant(const zoo::Benchmark &bench,
+                           const PlatformSpec &spec) const;
+    const Platform &platformFor(std::size_t cls, unsigned batch);
+    const RunStats &statsFor(std::size_t cls, const std::string &network,
+                             unsigned batch);
+    /** Min simulated latency over classes with a free replica. */
+    double cheapestFreeLatencyUs(const std::string &network,
+                                 unsigned batch, double now);
+    std::size_t memoSize() const;
+    std::string fleetName() const;
+    void validateRequest(const InferenceRequest &req, unsigned cap) const;
     void precompile(const std::vector<std::string> &networks);
     template <typename OnFinish>
     ServeReport runLoop(std::vector<InferenceRequest> initial,
                         const std::vector<std::string> &warmNetworks,
                         OnFinish &&onFinish);
 
-    PlatformSpec spec_;
     ServeOptions opts_;
     std::vector<zoo::Benchmark> catalog_;
     ArtifactCache *cache_;
-    /** Built platform per batch size (platforms bind batch early). */
-    std::map<unsigned, std::unique_ptr<Platform>> platforms_;
-    /** Memoized simulation per (network, batch-size). */
-    std::map<std::pair<std::string, unsigned>, RunStats> memo_;
+    std::vector<PlatformClass> classes_;
+    std::vector<Replica> replicas_;
 };
 
 } // namespace serve

@@ -6,18 +6,9 @@
  * serving engine's virtual clock (microseconds). Traces come from
  * three places: the seeded synthetic generator (a Poisson arrival
  * process over a network mix -- the reproducible open-loop load the
- * bitfusion_serve tool drives by default), a trace file, or a test's
- * hand-built vector.
- *
- * Trace file format (one request per line, '#' starts a comment):
- *
- *     <arrival_us> <network> <samples> [deadline_us]
- *
- * where deadline_us is the absolute latest dispatch time (omitted or
- * 0 = no deadline). Lines must be arrival-ordered. Times carry six
- * fractional digits, so dumping a synthetic trace and serving the
- * file reproduces the same batching decisions but may move reported
- * latencies by sub-microsecond rounding.
+ * bitfusion_serve tool drives by default), a trace file
+ * (docs/serving.md documents the format formatTrace/parseTrace
+ * round-trip), or a test's hand-built vector.
  */
 
 #ifndef BITFUSION_SERVE_TRACE_H

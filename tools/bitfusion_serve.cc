@@ -5,14 +5,19 @@
  *   bitfusion_serve --platform bitfusion --timing overlap
  *   bitfusion_serve --requests 1000 --seed 7 --mean-gap-us 1500
  *                   --max-wait-us 500 --deadline-us 20000
+ *   bitfusion_serve --replicas 4 --scheduler edf --deadline-us 20000
+ *   bitfusion_serve --fleet bitfusion,bitfusion:16nm,eyeriss
  *   bitfusion_serve --trace trace.txt --json report.json
  *   bitfusion_serve --closed-loop 8 --requests 512
  *
  * Default mode is a seeded synthetic open-loop trace (Poisson
  * arrivals over the eight paper benchmarks); --trace serves a trace
- * file instead (see src/serve/trace.h for the format), and
- * --closed-loop N runs N always-outstanding clients. Output is
- * byte-identical for a fixed seed/trace regardless of --threads.
+ * file instead (see docs/serving.md for the format), and
+ * --closed-loop N runs N always-outstanding clients. --replicas R
+ * serves the platform on R identical replicas, --fleet lists a
+ * heterogeneous fleet, and --scheduler picks the dispatch policy.
+ * Output is byte-identical for a fixed seed/trace regardless of
+ * --threads.
  */
 
 #include <cstdio>
@@ -24,6 +29,7 @@
 
 #include "src/common/cli.h"
 #include "src/common/logging.h"
+#include "src/serve/scheduler.h"
 #include "src/serve/serving_engine.h"
 
 namespace {
@@ -37,14 +43,17 @@ usage(const char *argv0)
     std::fprintf(
         stderr,
         "usage: %s [--platform KIND[:VARIANT]] [--timing simple|overlap]\n"
+        "  fleet: [--replicas R] [--fleet KIND[:VARIANT],...]\n"
+        "      [--scheduler %s] [--slo-us B]\n"
         "  open loop (default): [--requests N] [--seed S]\n"
         "      [--mean-gap-us G] [--req-samples MAX] [--deadline-us D]\n"
         "      [--networks A,B,...] [--trace PATH] [--dump-trace PATH]\n"
         "  closed loop: --closed-loop CLIENTS [--requests N]\n"
-        "      [--samples PER_REQUEST] [--seed S] [--networks A,B,...]\n"
+        "      [--samples PER_REQUEST] [--seed S] [--deadline-us D]\n"
+        "      [--networks A,B,...]\n"
         "  batching: [--max-batch B] [--max-wait-us W]\n"
         "  output: [--json PATH] [--per-request] [--threads N]\n",
-        argv0);
+        argv0, schedulerNames());
     return 2;
 }
 
@@ -72,11 +81,19 @@ printPercentiles(const char *label, const Percentiles &p)
 void
 printReport(const ServeReport &report)
 {
-    std::printf("=== Serving %s (%s, timing=%s, max batch %u"
-                ", window %.0f us) ===\n\n",
-                report.platform.c_str(), report.mode.c_str(),
-                toString(report.timing), report.maxBatch,
-                report.maxWaitUs);
+    if (report.fleetReport()) {
+        std::printf("=== Serving %s (%s, scheduler=%s, timing=%s, "
+                    "max batch %u, window %.0f us) ===\n\n",
+                    report.platform.c_str(), report.mode.c_str(),
+                    report.scheduler.c_str(), toString(report.timing),
+                    report.maxBatch, report.maxWaitUs);
+    } else {
+        std::printf("=== Serving %s (%s, timing=%s, max batch %u"
+                    ", window %.0f us) ===\n\n",
+                    report.platform.c_str(), report.mode.c_str(),
+                    toString(report.timing), report.maxBatch,
+                    report.maxWaitUs);
+    }
     std::printf("requests: %zu (%llu samples) in %.1f ms of virtual "
                 "time\n",
                 report.requests.size(),
@@ -91,6 +108,20 @@ printReport(const ServeReport &report)
     printPercentiles("latency (us):", report.latencyUs());
     printPercentiles("queue   (us):", report.queueUs());
     std::printf("\ndeadline misses: %zu\n", report.deadlineMisses);
+    if (report.fleetReport()) {
+        std::printf("replicas:\n");
+        for (std::size_t r = 0; r < report.replicas.size(); ++r) {
+            const ReplicaUsage &usage = report.replicas[r];
+            std::printf("  [%zu] %-34s %5zu batches  %6llu samples  "
+                        "util %5.1f%%",
+                        r, usage.platform.c_str(), usage.batches,
+                        static_cast<unsigned long long>(usage.samples),
+                        100.0 * usage.utilization);
+            if (usage.energyJ > 0.0)
+                std::printf("  %.4f J", usage.energyJ);
+            std::printf("\n");
+        }
+    }
     if (report.energyJ > 0.0) {
         std::printf("energy: %.4f J (%.2f uJ/sample)\n", report.energyJ,
                     1e6 * report.energyJ /
@@ -108,12 +139,16 @@ int
 main(int argc, char **argv)
 {
     std::string platformToken = "bitfusion";
+    std::string fleetTokens;
     std::string tracePath, dumpTracePath, jsonPath;
     TraceSpec traceSpec;
     ClosedLoopSpec closedSpec;
     ServeOptions options;
     bool closedLoop = false;
     bool perRequest = false;
+    bool platformGiven = false;
+    bool fleetGiven = false;
+    bool replicasGiven = false;
     std::string openOnlyFlag, closedOnlyFlag, generatorFlag;
 
     // Time-valued flags accept fractions; counts and seeds must be
@@ -135,6 +170,17 @@ main(int argc, char **argv)
         const std::string arg = argv[i];
         if (arg == "--platform" && i + 1 < argc) {
             platformToken = argv[++i];
+            platformGiven = true;
+        } else if (arg == "--fleet" && i + 1 < argc) {
+            fleetTokens = argv[++i];
+            fleetGiven = true;
+        } else if (arg == "--replicas") {
+            options.replicas = int32Arg(i, "--replicas");
+            replicasGiven = true;
+        } else if (arg == "--scheduler" && i + 1 < argc) {
+            options.scheduler = argv[++i];
+        } else if (arg == "--slo-us") {
+            options.sloBudgetUs = numArg(i, "--slo-us");
         } else if (arg == "--timing") {
             options.timing = timingArg(argc, argv, i);
         } else if (arg == "--threads") {
@@ -158,7 +204,7 @@ main(int argc, char **argv)
             generatorFlag = arg;
         } else if (arg == "--deadline-us") {
             traceSpec.deadlineSlackUs = numArg(i, "--deadline-us");
-            openOnlyFlag = arg;
+            closedSpec.deadlineSlackUs = traceSpec.deadlineSlackUs;
             generatorFlag = arg;
         } else if (arg == "--networks" && i + 1 < argc) {
             traceSpec.networks = splitList(argv[++i]);
@@ -210,10 +256,59 @@ main(int argc, char **argv)
                      generatorFlag.c_str());
         return 2;
     }
+    // A fleet list names every replica itself.
+    if (fleetGiven && platformGiven) {
+        std::fprintf(stderr,
+                     "--fleet lists every replica; it conflicts with "
+                     "--platform\n");
+        return 2;
+    }
+    if (fleetGiven && replicasGiven) {
+        std::fprintf(stderr,
+                     "--fleet lists every replica; it conflicts with "
+                     "--replicas\n");
+        return 2;
+    }
+    if (options.replicas == 0) {
+        std::fprintf(stderr, "--replicas must be at least 1\n");
+        return 2;
+    }
+    // Mis-paired scheduler knobs would silently change the policy
+    // under the benchmark; fail fast instead.
+    if (options.scheduler == "slo" && options.sloBudgetUs <= 0.0) {
+        std::fprintf(stderr,
+                     "--scheduler slo needs a latency budget "
+                     "(--slo-us B)\n");
+        return 2;
+    }
+    if (options.scheduler != "slo" && options.sloBudgetUs > 0.0) {
+        std::fprintf(stderr,
+                     "--slo-us only applies to --scheduler slo\n");
+        return 2;
+    }
+    if (options.scheduler == "lookahead" && options.maxWaitUs <= 0.0) {
+        std::fprintf(stderr,
+                     "--scheduler lookahead needs a starvation bound "
+                     "(--max-wait-us W)\n");
+        return 2;
+    }
+    if ((options.scheduler == "edf" || options.scheduler == "slo") &&
+        options.maxWaitUs > 0.0) {
+        std::fprintf(stderr,
+                     "--max-wait-us only applies to the fifo and "
+                     "lookahead schedulers (%s never idles on a "
+                     "timer)\n",
+                     options.scheduler.c_str());
+        return 2;
+    }
 
-    const PlatformSpec spec =
-        PlatformRegistry::builtin().parse(platformToken);
-    ServingEngine engine(spec, options);
+    std::vector<PlatformSpec> fleet;
+    if (fleetGiven) {
+        fleet = PlatformRegistry::builtin().parseFleet(fleetTokens);
+    } else {
+        fleet.push_back(PlatformRegistry::builtin().parse(platformToken));
+    }
+    ServingEngine engine(std::move(fleet), options);
 
     // Request sizes are bounded by the coalescing cap; both are
     // known from the flags, so fail before any work happens.

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Check that relative markdown links resolve.
+
+Usage: check_md_links.py FILE.md [FILE.md ...]
+
+For every inline markdown link [text](target) in the given files:
+  - external links (scheme://, mailto:) are skipped;
+  - relative file targets must exist on disk (resolved against the
+    linking file's directory);
+  - fragments must point at a heading that exists in the target file
+    (GitHub-style slugs: lowercase, punctuation stripped, spaces to
+    dashes), including pure in-page '#fragment' links.
+
+Exits non-zero listing every broken link. Stdlib only.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+LINK = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def slugify(heading: str) -> str:
+    heading = heading.strip().lower()
+    # Drop inline code/emphasis markers, then punctuation.
+    heading = re.sub(r"[`*_]", "", heading)
+    heading = re.sub(r"[^\w\- ]", "", heading)
+    return heading.replace(" ", "-")
+
+
+def headings(path: Path) -> set:
+    slugs = set()
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if not in_fence and line.startswith("#"):
+            slugs.add(slugify(line.lstrip("#")))
+    return slugs
+
+
+def check(path: Path) -> list:
+    errors = []
+    in_fence = False
+    for lineno, line in enumerate(
+            path.read_text(encoding="utf-8").splitlines(), start=1):
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in LINK.finditer(line):
+            target = match.group(1)
+            if re.match(r"^[a-z][a-z0-9+.-]*:", target):
+                continue  # external (https:, mailto:, ...)
+            file_part, _, fragment = target.partition("#")
+            dest = (path.parent / file_part).resolve() if file_part \
+                else path.resolve()
+            if not dest.exists():
+                errors.append(f"{path}:{lineno}: broken link "
+                              f"'{target}' (no such file)")
+                continue
+            if fragment and dest.suffix == ".md":
+                if fragment not in headings(dest):
+                    errors.append(f"{path}:{lineno}: broken anchor "
+                                  f"'{target}' (no such heading)")
+    return errors
+
+
+def main(argv: list) -> int:
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    errors = []
+    for name in argv[1:]:
+        path = Path(name)
+        if not path.exists():
+            errors.append(f"{name}: no such file")
+            continue
+        errors.extend(check(path))
+    for error in errors:
+        print(error, file=sys.stderr)
+    if not errors:
+        print(f"checked {len(argv) - 1} file(s): all links resolve")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
