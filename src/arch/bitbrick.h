@@ -77,9 +77,13 @@ class BitBrick
     static std::int64_t
     evaluate(const BitBrickOp &op)
     {
+        // Shift in the unsigned domain: left-shifting a negative
+        // product is undefined behaviour pre-C++20 (UBSan flags it);
+        // the round-trip is bit-identical on two's complement.
+        const auto product = static_cast<std::int64_t>(
+            multiply(op.x, op.y, op.sx, op.sy));
         return static_cast<std::int64_t>(
-                   multiply(op.x, op.y, op.sx, op.sy))
-               << op.shift;
+            static_cast<std::uint64_t>(product) << op.shift);
     }
 };
 

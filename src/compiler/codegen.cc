@@ -15,12 +15,26 @@ Compiler::Compiler(const AcceleratorConfig &cfg) : cfg(cfg), tiler(this->cfg)
 std::uint64_t
 Compiler::largestDivisor(std::uint64_t value, std::uint64_t cap)
 {
+    // sqrt(value) divisor enumeration instead of the old linear scan
+    // down from cap (which was O(value) per layer for prime-ish layer
+    // dimensions). Divisors pair up as (d, value / d) with d <=
+    // sqrt(value) <= value / d: the cofactors value / d shrink as d
+    // grows, so the first cofactor <= cap is the answer; if no
+    // cofactor qualifies the best small divisor <= cap wins.
     BF_ASSERT(value >= 1);
-    cap = std::min(cap, value);
-    for (std::uint64_t d = cap; d >= 1; --d)
-        if (value % d == 0)
-            return d;
-    return 1;
+    if (cap >= value)
+        return value;
+    std::uint64_t best = 1;
+    for (std::uint64_t d = 1; d * d <= value; ++d) {
+        if (value % d != 0)
+            continue;
+        const std::uint64_t cofactor = value / d;
+        if (cofactor <= cap)
+            return cofactor;
+        if (d <= cap)
+            best = d;
+    }
+    return best;
 }
 
 InstructionBlock

@@ -85,11 +85,15 @@ class Compiler
 
     const AcceleratorConfig &config() const { return cfg; }
 
-  private:
-    /** Largest divisor of @p value that is <= cap. */
+    /**
+     * Largest divisor of @p value that is <= @p cap (1 when @p cap
+     * is 0). Runs a sqrt(value) divisor enumeration; public so the
+     * unit tests can pin its results against a linear reference.
+     */
     static std::uint64_t largestDivisor(std::uint64_t value,
                                         std::uint64_t cap);
 
+  private:
     AcceleratorConfig cfg;
     Tiler tiler;
 };

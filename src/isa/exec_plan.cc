@@ -1,0 +1,486 @@
+#include "src/isa/exec_plan.h"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+#include <map>
+#include <mutex>
+#include <tuple>
+
+#include "src/arch/decompose.h"
+#include "src/common/bitutils.h"
+#include "src/common/logging.h"
+
+namespace bitfusion {
+
+// ------------------------------------------------------- product table
+
+namespace {
+
+ProductTable
+buildProductTable(const FusionConfig &cfg)
+{
+    ProductTable t;
+    t.aBits = cfg.aBits;
+    t.wBits = cfg.wBits;
+    t.aMin = cfg.aSigned ? signedMin(cfg.aBits) : 0;
+    t.aMax = cfg.aSigned ? signedMax(cfg.aBits) : unsignedMax(cfg.aBits);
+    t.wMin = cfg.wSigned ? signedMin(cfg.wBits) : 0;
+    t.wMax = cfg.wSigned ? signedMax(cfg.wBits) : unsignedMax(cfg.wBits);
+    const std::uint64_t aSpan = 1ULL << cfg.aBits;
+    const std::uint64_t wSpan = 1ULL << cfg.wBits;
+    t.products.resize(aSpan * wSpan, 0);
+    for (std::uint64_t ra = 0; ra < aSpan; ++ra) {
+        const std::int64_t a =
+            cfg.aSigned ? signExtend(ra, cfg.aBits)
+                        : static_cast<std::int64_t>(ra);
+        for (std::uint64_t rw = 0; rw < wSpan; ++rw) {
+            const std::int64_t w =
+                cfg.wSigned ? signExtend(rw, cfg.wBits)
+                            : static_cast<std::int64_t>(rw);
+            const auto ops = decomposeMultiply(a, w, cfg);
+            t.products[(ra << cfg.wBits) | rw] =
+                evaluateDecomposition(ops);
+            // The decomposition size is value-independent (one op per
+            // digit pair); record it once.
+            t.opsPerMac = ops.size();
+        }
+    }
+    return t;
+}
+
+} // namespace
+
+const ProductTable *
+productTableFor(const FusionConfig &cfg)
+{
+    cfg.validate();
+    if (cfg.aBits > 8 || cfg.wBits > 8)
+        return nullptr;
+
+    using Key = std::tuple<unsigned, unsigned, bool, bool>;
+    static std::mutex mutex;
+    static std::map<Key, std::unique_ptr<ProductTable>> tables;
+
+    const Key key{cfg.aBits, cfg.wBits, cfg.aSigned, cfg.wSigned};
+    std::lock_guard<std::mutex> lock(mutex);
+    auto &slot = tables[key];
+    if (!slot)
+        slot = std::make_unique<ProductTable>(buildProductTable(cfg));
+    return slot.get();
+}
+
+// ------------------------------------------------------------ lowering
+
+std::string
+ExecPlan::blockKey(const InstructionBlock &block)
+{
+    std::string key;
+    key.reserve(64 + block.instructions.size() * 16);
+    auto num = [&key](std::uint64_t v) {
+        key += std::to_string(v);
+        key += ',';
+    };
+    num(block.config.aBits);
+    num(block.config.wBits);
+    num(block.config.aSigned);
+    num(block.config.wSigned);
+    for (std::uint64_t base : block.baseAddr)
+        num(base);
+    num(block.actShift);
+    num(block.actOutBits);
+    key += '#';
+    for (const Instruction &inst : block.instructions) {
+        num(static_cast<unsigned>(inst.op));
+        num(inst.id);
+        num(inst.spec);
+        num(inst.imm);
+        num(inst.immHi);
+    }
+    return key;
+}
+
+std::uint64_t
+ExecPlan::evalMax(const AddrExpr &e) const
+{
+    // Largest address the expression can produce over the whole nest;
+    // a zero-trip loop's body never runs, so its term contributes 0.
+    std::uint64_t addr = e.base;
+    for (const AddrTerm &t : e.terms)
+        if (iters_[t.depth] > 0)
+            addr += (iters_[t.depth] - 1) * t.stride;
+    return addr;
+}
+
+std::shared_ptr<const ExecPlan>
+ExecPlan::build(const InstructionBlock &block)
+{
+    block.validate();
+    std::shared_ptr<ExecPlan> plan(new ExecPlan);
+    plan->config_ = block.config;
+    plan->actShift_ = block.actShift;
+    plan->actOutBits_ = block.actOutBits;
+    plan->memo_ = productTableFor(block.config);
+
+    // Loop ids -> nest depth (ids are 6-bit; dmaRow is a pseudo id).
+    int idToDepth[64];
+    std::fill(std::begin(idToDepth), std::end(idToDepth), -1);
+    for (const Instruction &inst : block.instructions) {
+        if (inst.op == Opcode::Loop) {
+            idToDepth[inst.id] =
+                static_cast<int>(plan->iters_.size());
+            plan->iters_.push_back(inst.fullImm());
+        }
+    }
+    const unsigned depth = static_cast<unsigned>(plan->iters_.size());
+    plan->levels_.assign(depth + 1, Level{});
+
+    for (const Instruction &inst : block.instructions) {
+        switch (inst.op) {
+          case Opcode::Setup:
+          case Opcode::Loop:
+          case Opcode::BlockEnd:
+            break;
+          case Opcode::GenAddr: {
+            AddrExpr &e =
+                plan->exprs_[static_cast<unsigned>(inst.buffer())]
+                            [static_cast<unsigned>(inst.space())];
+            if (inst.id == addr_id::dmaRow) {
+                e.rowStride += inst.fullImm();
+            } else {
+                const int d = idToDepth[inst.id];
+                BF_ASSERT(d >= 0, "gen-addr references loop ",
+                          static_cast<int>(inst.id),
+                          " outside the nest in ", block.name);
+                e.terms.push_back(
+                    {static_cast<unsigned>(d), inst.fullImm()});
+            }
+            break;
+          }
+          default: {
+            const unsigned level = inst.id;
+            BF_ASSERT(level < plan->levels_.size(),
+                      "body level out of range in ", block.name);
+            Op op;
+            switch (inst.op) {
+              case Opcode::LdMem:
+                op.kind = OpKind::LdMem;
+                op.buf = static_cast<std::uint8_t>(inst.buffer());
+                op.imm = inst.fullImm();
+                break;
+              case Opcode::StMem:
+                op.kind = OpKind::StMem;
+                op.buf = static_cast<std::uint8_t>(inst.buffer());
+                op.imm = inst.fullImm();
+                op.activate = inst.isActivate();
+                break;
+              case Opcode::SetRows:
+                op.kind = OpKind::SetRows;
+                op.imm = inst.fullImm();
+                plan->maxRows_ =
+                    std::max<std::uint64_t>(plan->maxRows_, op.imm);
+                break;
+              case Opcode::RdBuf:
+                op.kind = OpKind::RdBuf;
+                op.buf = static_cast<std::uint8_t>(inst.buffer());
+                break;
+              case Opcode::WrBuf:
+                op.kind = OpKind::WrBuf;
+                op.buf = static_cast<std::uint8_t>(inst.buffer());
+                break;
+              case Opcode::Compute:
+                switch (inst.fn()) {
+                  case ComputeFn::Mac:
+                    op.kind = OpKind::Mac;
+                    break;
+                  case ComputeFn::Max:
+                    op.kind = OpKind::MaxOp;
+                    break;
+                  case ComputeFn::ReluQuant:
+                    op.kind = OpKind::ReluQuant;
+                    op.shift = inst.imm & 0xff;
+                    op.outBits = (inst.imm >> 8) & 0xff;
+                    break;
+                  case ComputeFn::Reset:
+                    op.kind = OpKind::Reset;
+                    break;
+                  default:
+                    // fn() is a raw 3-bit field; a decoded word
+                    // stream can carry 4..7, which the reference
+                    // walk executes as a silent no-op. Lower it to
+                    // nothing for bit-identical parity.
+                    continue;
+                }
+                break;
+              default:
+                BF_PANIC("unexpected opcode in block body");
+            }
+            if (inst.isPost())
+                plan->levels_[level].post.push_back(op);
+            else
+                plan->levels_[level].pre.push_back(op);
+            break;
+          }
+        }
+    }
+
+    // Memory-side bases come from the block; buffer-side expressions
+    // start at zero, exactly like the reference walk.
+    for (unsigned b = 0; b < 3; ++b)
+        plan->exprs_[b][static_cast<unsigned>(AddrSpace::Mem)].base =
+            block.baseAddr[b];
+
+    // Static high-water analysis: the largest address each buffer can
+    // see through any transfer fill or any rd-buf/wr-buf access. The
+    // row bound of 2-D transfers is the largest set-rows immediate
+    // (conservative when a smaller set-rows reaches a transfer, which
+    // only over-allocates; the dynamic bufHighWater stat stays exact).
+    for (const Level &level : plan->levels_) {
+        for (const auto *span : {&level.pre, &level.post}) {
+            for (const Op &op : *span) {
+                if (op.kind == OpKind::LdMem ||
+                    op.kind == OpKind::StMem) {
+                    const AddrExpr &fill =
+                        plan->exprs_[op.buf][static_cast<unsigned>(
+                            AddrSpace::BufFill)];
+                    const std::uint64_t need =
+                        plan->evalMax(fill) +
+                        (plan->maxRows_ - 1) * fill.rowStride + op.imm;
+                    plan->bufSize_[op.buf] =
+                        std::max(plan->bufSize_[op.buf], need);
+                    const AddrExpr &mem =
+                        plan->exprs_[op.buf][static_cast<unsigned>(
+                            AddrSpace::Mem)];
+                    plan->memExtent_ = std::max(
+                        plan->memExtent_,
+                        plan->evalMax(mem) +
+                            (plan->maxRows_ - 1) * mem.rowStride +
+                            op.imm);
+                } else if (op.kind == OpKind::RdBuf ||
+                           op.kind == OpKind::WrBuf) {
+                    const AddrExpr &acc =
+                        plan->exprs_[op.buf][static_cast<unsigned>(
+                            AddrSpace::BufAccess)];
+                    plan->bufSize_[op.buf] =
+                        std::max(plan->bufSize_[op.buf],
+                                 plan->evalMax(acc) + 1);
+                }
+            }
+        }
+    }
+    return plan;
+}
+
+// ----------------------------------------------------------- execution
+
+struct ExecPlan::Runtime
+{
+    MemoryModel &memory;
+    InterpStats &stats;
+    std::array<std::vector<std::int64_t>, 3> &buffers;
+    const std::uint64_t *pos;
+    std::uint64_t pendingRows = 1;
+    std::int64_t regIn = 0, regWgt = 0, regOut = 0;
+};
+
+void
+ExecPlan::transfer(const Op &op, bool to_buffer, Runtime &rt) const
+{
+    const unsigned b = op.buf;
+    const std::uint64_t words = op.imm;
+    const std::uint64_t rows = rt.pendingRows;
+    rt.pendingRows = 1;
+    if (rows == 0)
+        return;
+
+    const AddrExpr &mem_e =
+        exprs_[b][static_cast<unsigned>(AddrSpace::Mem)];
+    const AddrExpr &fill_e =
+        exprs_[b][static_cast<unsigned>(AddrSpace::BufFill)];
+    std::uint64_t mem0 = mem_e.base;
+    for (const AddrTerm &t : mem_e.terms)
+        mem0 += rt.pos[t.depth] * t.stride;
+    std::uint64_t buf0 = fill_e.base;
+    for (const AddrTerm &t : fill_e.terms)
+        buf0 += rt.pos[t.depth] * t.stride;
+
+    auto &store = rt.buffers[b];
+    // The fill range is inside the static high-water size; the stat
+    // itself tracks the dynamically reached mark (bit-identical to
+    // the reference walk's per-row maximum: row strides are
+    // non-negative, so the last row is the high-water row).
+    const std::uint64_t top =
+        buf0 + (rows - 1) * fill_e.rowStride + words;
+    BF_ASSERT(top <= store.size(), "transfer beyond planned size");
+    rt.stats.bufHighWater[b] =
+        std::max<std::uint64_t>(rt.stats.bufHighWater[b], top);
+
+    if (words > 0) {
+        const bool activate = !to_buffer && op.activate;
+        for (std::uint64_t r = 0; r < rows; ++r) {
+            if (to_buffer) {
+                const std::int64_t *src =
+                    rt.memory.readSpan(mem0, words);
+                std::memcpy(&store[buf0], src,
+                            words * sizeof(std::int64_t));
+            } else if (activate) {
+                // Activation unit on the drain path (Fig. 3): relu
+                // then requantize, per element.
+                std::int64_t *dst = rt.memory.writeSpan(mem0, words);
+                for (std::uint64_t kk = 0; kk < words; ++kk) {
+                    std::int64_t v = store[buf0 + kk];
+                    v = std::max<std::int64_t>(v, 0) >> actShift_;
+                    if (actOutBits_)
+                        v = clampUnsigned(v, actOutBits_);
+                    dst[kk] = v;
+                }
+                rt.stats.auxOps += words;
+            } else {
+                std::memcpy(rt.memory.writeSpan(mem0, words),
+                            &store[buf0], words * sizeof(std::int64_t));
+            }
+            mem0 += mem_e.rowStride;
+            buf0 += fill_e.rowStride;
+        }
+    }
+    if (to_buffer)
+        rt.stats.dramLoadElems[b] += rows * words;
+    else
+        rt.stats.dramStoreElems[b] += rows * words;
+}
+
+void
+ExecPlan::execSpan(const std::vector<Op> &ops, Runtime &rt) const
+{
+    for (const Op &op : ops) {
+        switch (op.kind) {
+          case OpKind::LdMem:
+            transfer(op, true, rt);
+            break;
+          case OpKind::StMem:
+            transfer(op, false, rt);
+            break;
+          case OpKind::SetRows:
+            rt.pendingRows = op.imm;
+            break;
+          case OpKind::RdBuf: {
+            const AddrExpr &e =
+                exprs_[op.buf][static_cast<unsigned>(
+                    AddrSpace::BufAccess)];
+            std::uint64_t addr = e.base;
+            for (const AddrTerm &t : e.terms)
+                addr += rt.pos[t.depth] * t.stride;
+            const auto &store = rt.buffers[op.buf];
+            BF_ASSERT(addr < store.size(),
+                      "rd-buf beyond planned size");
+            const std::int64_t v = store[addr];
+            switch (static_cast<BufferId>(op.buf)) {
+              case BufferId::Ibuf: rt.regIn = v; break;
+              case BufferId::Wbuf: rt.regWgt = v; break;
+              case BufferId::Obuf: rt.regOut = v; break;
+            }
+            ++rt.stats.bufReads[op.buf];
+            break;
+          }
+          case OpKind::WrBuf: {
+            const AddrExpr &e =
+                exprs_[op.buf][static_cast<unsigned>(
+                    AddrSpace::BufAccess)];
+            std::uint64_t addr = e.base;
+            for (const AddrTerm &t : e.terms)
+                addr += rt.pos[t.depth] * t.stride;
+            auto &store = rt.buffers[op.buf];
+            BF_ASSERT(addr < store.size(),
+                      "wr-buf beyond planned size");
+            store[addr] = rt.regOut;
+            rt.stats.bufHighWater[op.buf] = std::max<std::uint64_t>(
+                rt.stats.bufHighWater[op.buf], addr + 1);
+            ++rt.stats.bufWrites[op.buf];
+            break;
+          }
+          case OpKind::Mac:
+            if (memo_) {
+                BF_ASSERT(rt.regIn >= memo_->aMin &&
+                          rt.regIn <= memo_->aMax,
+                          "activation ", rt.regIn,
+                          " not representable in ", memo_->aBits, "b");
+                BF_ASSERT(rt.regWgt >= memo_->wMin &&
+                          rt.regWgt <= memo_->wMax,
+                          "weight ", rt.regWgt,
+                          " not representable in ", memo_->wBits, "b");
+                const std::uint64_t idx =
+                    ((static_cast<std::uint64_t>(rt.regIn) &
+                      lowMask(memo_->aBits))
+                     << memo_->wBits) |
+                    (static_cast<std::uint64_t>(rt.regWgt) &
+                     lowMask(memo_->wBits));
+                rt.regOut += memo_->products[idx];
+                ++rt.stats.macs;
+                rt.stats.bitBrickOps += memo_->opsPerMac;
+            } else {
+                const auto ops_vec =
+                    decomposeMultiply(rt.regIn, rt.regWgt, config_);
+                rt.regOut += evaluateDecomposition(ops_vec);
+                ++rt.stats.macs;
+                rt.stats.bitBrickOps += ops_vec.size();
+            }
+            break;
+          case OpKind::MaxOp:
+            rt.regOut = std::max(rt.regOut, rt.regIn);
+            ++rt.stats.auxOps;
+            break;
+          case OpKind::ReluQuant: {
+            std::int64_t v =
+                std::max<std::int64_t>(rt.regIn, 0) >> op.shift;
+            rt.regOut = op.outBits ? clampUnsigned(v, op.outBits) : v;
+            ++rt.stats.auxOps;
+            break;
+          }
+          case OpKind::Reset:
+            rt.regOut = std::numeric_limits<std::int64_t>::min();
+            break;
+        }
+    }
+}
+
+void
+ExecPlan::execute(MemoryModel &memory, InterpStats &stats,
+                  std::array<std::vector<std::int64_t>, 3> &buffers)
+    const
+{
+    for (unsigned b = 0; b < 3; ++b)
+        buffers[b].assign(bufSize_[b], 0);
+
+    const unsigned depth = this->depth();
+    std::vector<std::uint64_t> pos(depth, 0);
+    Runtime rt{memory, stats, buffers, pos.data()};
+
+    // Iterative nest walk over the per-level spans: level L's pre
+    // span runs on entry, its post span after the loops below it
+    // finish -- exactly the reference walk's recursion, flattened.
+    execSpan(levels_[0].pre, rt);
+    unsigned lv = 0; // number of loops currently entered
+    while (true) {
+        while (lv < depth && iters_[lv] > 0) {
+            pos[lv] = 0;
+            execSpan(levels_[lv + 1].pre, rt);
+            ++lv;
+        }
+        execSpan(levels_[lv].post, rt);
+        bool done = true;
+        while (lv > 0) {
+            --lv;
+            if (++pos[lv] < iters_[lv]) {
+                execSpan(levels_[lv + 1].pre, rt);
+                ++lv;
+                done = false;
+                break;
+            }
+            execSpan(levels_[lv].post, rt);
+        }
+        if (done)
+            return;
+    }
+}
+
+} // namespace bitfusion

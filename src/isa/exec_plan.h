@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Compiled execution plans for Fusion-ISA blocks.
+ *
+ * The interpreter's reference walk (Interpreter::runLegacy) re-derives
+ * everything per element: a recursive descent over the loop nest, a
+ * std::map lookup per address term, a fresh BitBrick decomposition per
+ * MAC, and resize churn on every transfer. An ExecPlan lowers a block
+ * ONCE into a flat loop program and executes it many times:
+ *
+ *  - the loop nest becomes per-level instruction spans driven by an
+ *    iterative walk (no recursion, no per-iteration map updates);
+ *  - every gen-addr expression is resolved to (loop depth, stride)
+ *    terms evaluated against a dense iteration-counter array;
+ *  - scratchpad sizes come from a static high-water analysis, so the
+ *    hot loop never calls resize;
+ *  - ld-mem / st-mem move whole rows through MemoryModel spans (one
+ *    bounds check per row instead of per element);
+ *  - for operand pairs of at most 8x8 bits the BitBrick products are
+ *    memoized in a per-config table built from the exact
+ *    decomposeMultiply path, so results AND the bitBrickOps / macs
+ *    counters stay bit-identical to the reference walk (wider
+ *    operands fall back to the exact decomposition).
+ *
+ * Plans are immutable after build() and safe to execute concurrently;
+ * all run state lives on the caller's stack. The process-level
+ * ArtifactCache (src/core/artifact_cache.h) caches one plan per
+ * distinct block content, shared by tests, benches, and serving.
+ */
+
+#ifndef BITFUSION_ISA_EXEC_PLAN_H
+#define BITFUSION_ISA_EXEC_PLAN_H
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/arch/fusion_config.h"
+#include "src/isa/block.h"
+#include "src/isa/interpreter.h"
+#include "src/isa/memory.h"
+
+namespace bitfusion {
+
+/**
+ * Memoized BitBrick products for one fusion configuration with both
+ * operands at most 8 bits wide. products[(rawA << wBits) | rawW] is
+ * exactly evaluateDecomposition(decomposeMultiply(a, w, cfg)), and
+ * opsPerMac is the (value-independent) decomposition size, so the
+ * memoized MAC path reproduces the reference walk bit-for-bit.
+ */
+struct ProductTable
+{
+    unsigned aBits = 0;
+    unsigned wBits = 0;
+    /** BitBrick ops per MAC: aLanes x wLanes, value-independent. */
+    std::uint64_t opsPerMac = 0;
+    /** Representable operand ranges (the reference walk asserts). */
+    std::int64_t aMin = 0, aMax = 0, wMin = 0, wMax = 0;
+    /** Shifted-product sums, indexed by the raw operand encodings. */
+    std::vector<std::int64_t> products;
+};
+
+/**
+ * Process-level memo table for @p cfg, built on first use; nullptr
+ * when either operand exceeds 8 bits (the table would not fit).
+ */
+const ProductTable *productTableFor(const FusionConfig &cfg);
+
+/** One lowered, recursion-free Fusion-ISA block. See file docs. */
+class ExecPlan
+{
+  public:
+    /** Lower @p block into a plan. The block must validate(). */
+    static std::shared_ptr<const ExecPlan>
+    build(const InstructionBlock &block);
+
+    /**
+     * Content identity of a block: two blocks with equal keys lower
+     * to interchangeable plans (the name is deliberately excluded).
+     * This is the ArtifactCache's plan-cache key.
+     */
+    static std::string blockKey(const InstructionBlock &block);
+
+    /**
+     * Execute the plan. @p buffers are the interpreter's scratchpads:
+     * resized once to the static high-water sizes and zero-filled, so
+     * the hot loop never reallocates. Stats accumulate into @p stats
+     * exactly as the reference walk would.
+     */
+    void execute(MemoryModel &memory, InterpStats &stats,
+                 std::array<std::vector<std::int64_t>, 3> &buffers) const;
+
+    /** Static per-buffer size (elements) the plan executes within. */
+    const std::array<std::uint64_t, 3> &
+    bufferSizes() const
+    {
+        return bufSize_;
+    }
+
+    /**
+     * One past the largest off-chip address any transfer can touch:
+     * a MemoryModel of at least this size executes the plan without
+     * tripping the bounds checks. Harness code (parity tests, the
+     * perf bench) sizes synthetic memories from this.
+     */
+    std::uint64_t memoryExtent() const { return memExtent_; }
+
+    /** Nest depth (number of loops). */
+    unsigned depth() const { return static_cast<unsigned>(iters_.size()); }
+
+    /** True when the MAC path runs on the memoized product table. */
+    bool memoized() const { return memo_ != nullptr; }
+
+  private:
+    ExecPlan() = default;
+
+    /** One (loop depth, stride) address term. */
+    struct AddrTerm
+    {
+        unsigned depth;
+        std::uint64_t stride;
+    };
+
+    /** A fully resolved gen-addr expression for one (buffer, space). */
+    struct AddrExpr
+    {
+        /** Constant part (the memory base for the Mem space). */
+        std::uint64_t base = 0;
+        /** Stride of the 2-D DMA row counter (addr_id::dmaRow). */
+        std::uint64_t rowStride = 0;
+        std::vector<AddrTerm> terms;
+    };
+
+    /** Lowered body operation. */
+    enum class OpKind : std::uint8_t
+    {
+        LdMem,
+        StMem,
+        SetRows,
+        RdBuf,
+        WrBuf,
+        Mac,
+        MaxOp,
+        ReluQuant,
+        Reset,
+    };
+
+    struct Op
+    {
+        OpKind kind;
+        std::uint8_t buf = 0;
+        /** Words per row (transfers) or row count (set-rows). */
+        std::uint64_t imm = 0;
+        /** Relu-quant requantization shift. */
+        unsigned shift = 0;
+        /** Relu-quant output width (0 = no clamp). */
+        unsigned outBits = 0;
+        /** St-mem drain-path activation flag. */
+        bool activate = false;
+    };
+
+    /** Pre/post instruction spans of one nest level. */
+    struct Level
+    {
+        std::vector<Op> pre;
+        std::vector<Op> post;
+    };
+
+    struct Runtime;
+
+    std::uint64_t evalMax(const AddrExpr &e) const;
+    void execSpan(const std::vector<Op> &ops, Runtime &rt) const;
+    void transfer(const Op &op, bool to_buffer, Runtime &rt) const;
+
+    /** Iteration counts by loop depth. */
+    std::vector<std::uint64_t> iters_;
+    /** Body spans; levels_[d] runs inside loops 0..d-1. */
+    std::vector<Level> levels_;
+    /** exprs_[buffer][space]; see AddrSpace. */
+    AddrExpr exprs_[3][3];
+    /** Static high-water scratchpad sizes. */
+    std::array<std::uint64_t, 3> bufSize_{0, 0, 0};
+    /** Largest set-rows immediate (row bound of the 2-D DMAs). */
+    std::uint64_t maxRows_ = 1;
+    /** Static bound on off-chip addresses; see memoryExtent(). */
+    std::uint64_t memExtent_ = 0;
+
+    FusionConfig config_;
+    unsigned actShift_ = 0;
+    unsigned actOutBits_ = 0;
+    /** Memoized MAC products; nullptr -> exact decomposition. */
+    const ProductTable *memo_ = nullptr;
+};
+
+} // namespace bitfusion
+
+#endif // BITFUSION_ISA_EXEC_PLAN_H

@@ -1,16 +1,34 @@
 #include "src/isa/interpreter.h"
 
 #include <algorithm>
+#include <cstring>
 #include <limits>
 
 #include "src/arch/decompose.h"
 #include "src/common/bitutils.h"
 #include "src/common/logging.h"
+#include "src/core/artifact_cache.h"
+#include "src/isa/exec_plan.h"
 
 namespace bitfusion {
 
-Interpreter::Interpreter(MemoryModel &memory) : memory(memory)
+Interpreter::Interpreter(MemoryModel &memory, ArtifactCache *planCache)
+    : memory(memory), planCache(planCache)
 {
+}
+
+void
+Interpreter::run(const InstructionBlock &b)
+{
+    ArtifactCache &cache =
+        planCache != nullptr ? *planCache : ArtifactCache::process();
+    run(*cache.plan(b));
+}
+
+void
+Interpreter::run(const ExecPlan &plan)
+{
+    plan.execute(memory, _stats, buffers);
 }
 
 std::uint64_t
@@ -42,31 +60,45 @@ Interpreter::transfer(const Instruction &inst, bool to_buffer)
     const std::uint64_t words = inst.fullImm();
     const std::uint64_t rows = pendingRows;
     pendingRows = 1;
+    if (rows == 0)
+        return;
 
     auto &store = buffers[b];
-    for (std::uint64_t r = 0; r < rows; ++r) {
-        const std::uint64_t mem0 = evalAddr(buf, AddrSpace::Mem, r);
-        const std::uint64_t buf0 = evalAddr(buf, AddrSpace::BufFill, r);
-        if (buf0 + words > store.size())
-            store.resize(buf0 + words, 0);
-        _stats.bufHighWater[b] =
-            std::max<std::uint64_t>(_stats.bufHighWater[b],
-                                    buf0 + words);
+    // Pre-size once per transfer: row strides are non-negative, so
+    // the last row holds the high-water address. This replaces the
+    // old per-row resize churn; the bufHighWater stat is unchanged
+    // (it always equaled the last row's top).
+    const std::uint64_t top =
+        evalAddr(buf, AddrSpace::BufFill, rows - 1) + words;
+    if (top > store.size())
+        store.resize(top, 0);
+    _stats.bufHighWater[b] =
+        std::max<std::uint64_t>(_stats.bufHighWater[b], top);
+
+    if (words > 0) {
         const bool activate = !to_buffer && inst.isActivate();
-        for (std::uint64_t kk = 0; kk < words; ++kk) {
+        for (std::uint64_t r = 0; r < rows; ++r) {
+            const std::uint64_t mem0 = evalAddr(buf, AddrSpace::Mem, r);
+            const std::uint64_t buf0 =
+                evalAddr(buf, AddrSpace::BufFill, r);
             if (to_buffer) {
-                store[buf0 + kk] = memory.read(mem0 + kk);
-            } else {
-                std::int64_t v = store[buf0 + kk];
-                if (activate) {
-                    // Activation unit on the drain path (Fig. 3):
-                    // relu then requantize.
+                std::memcpy(&store[buf0], memory.readSpan(mem0, words),
+                            words * sizeof(std::int64_t));
+            } else if (activate) {
+                // Activation unit on the drain path (Fig. 3):
+                // relu then requantize.
+                std::int64_t *dst = memory.writeSpan(mem0, words);
+                for (std::uint64_t kk = 0; kk < words; ++kk) {
+                    std::int64_t v = store[buf0 + kk];
                     v = std::max<std::int64_t>(v, 0) >> block->actShift;
                     if (block->actOutBits)
                         v = clampUnsigned(v, block->actOutBits);
-                    ++_stats.auxOps;
+                    dst[kk] = v;
                 }
-                memory.write(mem0 + kk, v);
+                _stats.auxOps += words;
+            } else {
+                std::memcpy(memory.writeSpan(mem0, words), &store[buf0],
+                            words * sizeof(std::int64_t));
             }
         }
     }
@@ -170,7 +202,7 @@ Interpreter::runLevel(unsigned level)
 }
 
 void
-Interpreter::run(const InstructionBlock &b)
+Interpreter::runLegacy(const InstructionBlock &b)
 {
     b.validate();
     block = &b;

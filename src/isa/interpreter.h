@@ -14,6 +14,18 @@
  * (DRAM bits, scratchpad accesses, compute operations); integration
  * tests reconcile these counts against the analytical performance
  * simulator.
+ *
+ * Two execution paths produce bit-identical memory, buffer, and
+ * statistics results:
+ *  - run() lowers the block once into a compiled ExecPlan
+ *    (src/isa/exec_plan.h) -- flat loop program, dense stride
+ *    tables, bulk row DMA, memoized BitBrick products -- and caches
+ *    the plan in the process-level ArtifactCache, so repeated runs
+ *    of the same block skip the lowering entirely. This is the fast
+ *    path every caller should use.
+ *  - runLegacy() is the original recursive walk kept as the
+ *    reference for plan-vs-legacy parity tests and the perf
+ *    benchmark baseline (bench/bench_perf.cc).
  */
 
 #ifndef BITFUSION_ISA_INTERPRETER_H
@@ -28,6 +40,9 @@
 #include "src/isa/memory.h"
 
 namespace bitfusion {
+
+class ArtifactCache;
+class ExecPlan;
 
 /** Traffic and op counts observed while interpreting a block. */
 struct InterpStats
@@ -48,17 +63,50 @@ struct InterpStats
     std::uint64_t auxOps = 0;
     /** High-water mark of scratchpad occupancy, in elements. */
     std::array<std::uint64_t, 3> bufHighWater{0, 0, 0};
+
+    bool
+    operator==(const InterpStats &o) const
+    {
+        return dramLoadElems == o.dramLoadElems &&
+               dramStoreElems == o.dramStoreElems &&
+               bufReads == o.bufReads && bufWrites == o.bufWrites &&
+               macs == o.macs && bitBrickOps == o.bitBrickOps &&
+               auxOps == o.auxOps && bufHighWater == o.bufHighWater;
+    }
+    bool operator!=(const InterpStats &o) const { return !(*this == o); }
 };
 
 /** Executes Fusion-ISA blocks functionally. */
 class Interpreter
 {
   public:
-    /** Interpret blocks against @p memory (shared across blocks). */
-    explicit Interpreter(MemoryModel &memory);
+    /**
+     * Interpret blocks against @p memory (shared across blocks).
+     * @p planCache resolves run(block) plan lookups; nullptr uses
+     * the process-level ArtifactCache::process() (tests pass a
+     * private cache for isolated accounting, matching the
+     * SweepOptions.cache / ServeOptions.cache pattern).
+     */
+    explicit Interpreter(MemoryModel &memory,
+                         ArtifactCache *planCache = nullptr);
 
-    /** Execute one block to completion. */
+    /**
+     * Execute one block to completion on the compiled-plan fast
+     * path. The plan is built (or fetched) through the plan cache,
+     * so every Interpreter sharing it performs one lowering per
+     * distinct block content.
+     */
     void run(const InstructionBlock &block);
+
+    /** Execute a pre-built plan (callers that manage plans). */
+    void run(const ExecPlan &plan);
+
+    /**
+     * Execute one block on the original recursive reference walk.
+     * Kept for plan-vs-legacy parity tests and as the perf-bench
+     * baseline; results are bit-identical to run().
+     */
+    void runLegacy(const InstructionBlock &block);
 
     /** Statistics accumulated across run() calls. */
     const InterpStats &stats() const { return _stats; }
@@ -90,6 +138,7 @@ class Interpreter
     void transfer(const Instruction &inst, bool to_buffer);
 
     MemoryModel &memory;
+    ArtifactCache *planCache; // nullptr -> ArtifactCache::process()
     InterpStats _stats;
 
     // Per-block state.

@@ -43,6 +43,28 @@ class MemoryModel
         storage[addr] = value;
     }
 
+    /**
+     * Read-only view of @p count contiguous elements at @p addr.
+     * One bounds check for the whole span; the bulk-DMA paths use
+     * this instead of per-element read()/write() calls.
+     */
+    const std::int64_t *
+    readSpan(std::uint64_t addr, std::uint64_t count) const
+    {
+        BF_ASSERT(addr + count <= storage.size(),
+                  "memory read span out of range");
+        return storage.data() + addr;
+    }
+
+    /** Mutable view of @p count contiguous elements at @p addr. */
+    std::int64_t *
+    writeSpan(std::uint64_t addr, std::uint64_t count)
+    {
+        BF_ASSERT(addr + count <= storage.size(),
+                  "memory write span out of range");
+        return storage.data() + addr;
+    }
+
     std::size_t size() const { return storage.size(); }
 
   private:

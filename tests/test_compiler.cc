@@ -216,5 +216,48 @@ TEST(Compiler, FcBlockLoopsCoverAllMacs)
     EXPECT_EQ(blk.innermostIterations(), fc.macsPerSample());
 }
 
+TEST(LargestDivisor, PinnedResults)
+{
+    // The sqrt-enumeration rewrite must reproduce the old linear
+    // scan exactly: the largest divisor of value that is <= cap.
+    EXPECT_EQ(Compiler::largestDivisor(12, 5), 4u);
+    EXPECT_EQ(Compiler::largestDivisor(13, 5), 1u);   // prime
+    EXPECT_EQ(Compiler::largestDivisor(16, 16), 16u); // cap == value
+    EXPECT_EQ(Compiler::largestDivisor(16, 100), 16u);
+    EXPECT_EQ(Compiler::largestDivisor(100, 10), 10u);
+    EXPECT_EQ(Compiler::largestDivisor(100, 9), 5u);
+    EXPECT_EQ(Compiler::largestDivisor(36, 35), 18u);
+    EXPECT_EQ(Compiler::largestDivisor(97, 96), 1u);  // prime, big cap
+    EXPECT_EQ(Compiler::largestDivisor(1, 1), 1u);
+    EXPECT_EQ(Compiler::largestDivisor(7, 0), 1u);    // degenerate cap
+    // Perfect squares hit the d * d == value boundary.
+    EXPECT_EQ(Compiler::largestDivisor(49, 48), 7u);
+    EXPECT_EQ(Compiler::largestDivisor(49, 7), 7u);
+    EXPECT_EQ(Compiler::largestDivisor(49, 6), 1u);
+    // A paper-sized case: AlexNet 2x fc6 output dim.
+    EXPECT_EQ(Compiler::largestDivisor(8192, 100), 64u);
+}
+
+TEST(LargestDivisor, MatchesLinearReference)
+{
+    for (std::uint64_t value = 1; value <= 400; ++value) {
+        for (std::uint64_t cap : {std::uint64_t{1}, std::uint64_t{2},
+                                  std::uint64_t{7}, std::uint64_t{19},
+                                  value / 2, value}) {
+            if (cap == 0)
+                continue;
+            std::uint64_t expect = 1;
+            for (std::uint64_t d = std::min(cap, value); d >= 1; --d) {
+                if (value % d == 0) {
+                    expect = d;
+                    break;
+                }
+            }
+            ASSERT_EQ(Compiler::largestDivisor(value, cap), expect)
+                << "value " << value << " cap " << cap;
+        }
+    }
+}
+
 } // namespace
 } // namespace bitfusion

@@ -1,0 +1,702 @@
+/**
+ * @file
+ * Compiled-plan vs reference-walk interpreter parity.
+ *
+ * The ExecPlan fast path (src/isa/exec_plan.h) must be bit-identical
+ * to Interpreter::runLegacy in everything observable: final memory
+ * contents and every InterpStats field (including bufHighWater and
+ * bitBrickOps, which the plan derives from static analysis and the
+ * memoized product table instead of executing the slow way). This
+ * suite checks that across the model zoo (shrunken to interpreter
+ * scale, quantized and baseline variants), across randomized
+ * compiler-emitted conv/fc blocks on every paper bitwidth config,
+ * on randomized hand-built blocks that stress nest shapes the
+ * compiler never emits (sparse loop ids, set-rows DMA, pooling and
+ * activation ops at odd levels), and on a zero-trip nest (reachable
+ * through decoded word streams, which bypass the builder's
+ * nonzero-iterations assert). It also covers the memoized product
+ * table directly and the plan cache.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "src/arch/decompose.h"
+#include "src/common/prng.h"
+#include "src/compiler/codegen.h"
+#include "src/core/artifact_cache.h"
+#include "src/dnn/model_zoo.h"
+#include "src/dnn/tensor.h"
+#include "src/isa/exec_plan.h"
+#include "src/isa/interpreter.h"
+#include "src/isa/memory.h"
+
+namespace bitfusion {
+namespace {
+
+AcceleratorConfig
+batch1Config()
+{
+    AcceleratorConfig cfg = AcceleratorConfig::eyerissMatched45();
+    cfg.batch = 1;
+    return cfg;
+}
+
+/** Compare every InterpStats field with a named message. */
+void
+expectStatsEqual(const InterpStats &legacy, const InterpStats &plan,
+                 const std::string &what)
+{
+    for (unsigned b = 0; b < 3; ++b) {
+        EXPECT_EQ(legacy.dramLoadElems[b], plan.dramLoadElems[b])
+            << what << " dramLoadElems[" << b << "]";
+        EXPECT_EQ(legacy.dramStoreElems[b], plan.dramStoreElems[b])
+            << what << " dramStoreElems[" << b << "]";
+        EXPECT_EQ(legacy.bufReads[b], plan.bufReads[b])
+            << what << " bufReads[" << b << "]";
+        EXPECT_EQ(legacy.bufWrites[b], plan.bufWrites[b])
+            << what << " bufWrites[" << b << "]";
+        EXPECT_EQ(legacy.bufHighWater[b], plan.bufHighWater[b])
+            << what << " bufHighWater[" << b << "]";
+    }
+    EXPECT_EQ(legacy.macs, plan.macs) << what << " macs";
+    EXPECT_EQ(legacy.bitBrickOps, plan.bitBrickOps)
+        << what << " bitBrickOps";
+    EXPECT_EQ(legacy.auxOps, plan.auxOps) << what << " auxOps";
+    EXPECT_TRUE(legacy == plan) << what << " InterpStats operator==";
+}
+
+void
+expectMemoryEqual(const MemoryModel &a, const MemoryModel &b,
+                  const std::string &what)
+{
+    ASSERT_EQ(a.size(), b.size()) << what;
+    for (std::uint64_t i = 0; i < a.size(); ++i)
+        ASSERT_EQ(a.read(i), b.read(i)) << what << " address " << i;
+}
+
+/** Run one block through both paths on identical memories. */
+void
+checkBlockParity(const InstructionBlock &block, const MemoryModel &seed,
+                 const std::string &what)
+{
+    MemoryModel legacyMem = seed;
+    MemoryModel planMem = seed;
+    Interpreter legacy(legacyMem);
+    Interpreter plan(planMem);
+    legacy.runLegacy(block);
+    plan.run(*ExecPlan::build(block));
+    expectStatsEqual(legacy.stats(), plan.stats(), what);
+    expectMemoryEqual(legacyMem, planMem, what);
+}
+
+// ------------------------------------------------ model-zoo parity
+
+/**
+ * Shrink a zoo layer to interpreter scale while preserving its kind,
+ * bitwidths, signedness, kernel, stride, padding, and groups -- the
+ * properties the lowering actually branches on. Channel counts stay
+ * multiples of the group count so the layer remains valid.
+ */
+Layer
+shrinkLayer(const Layer &l)
+{
+    Layer s = l;
+    const unsigned g = std::max(1u, l.groups);
+    auto capChannels = [g](unsigned c, unsigned cap) {
+        unsigned limit = std::max(g, cap - cap % g);
+        unsigned v = std::min(c, limit);
+        v -= v % g;
+        return std::max(v, g);
+    };
+    switch (l.kind) {
+      case LayerKind::Conv:
+        s.inC = capChannels(l.inC, 8);
+        s.outC = capChannels(l.outC, 8);
+        s.inH = std::min(l.inH, std::max(l.kH, 6u));
+        s.inW = std::min(l.inW, std::max(l.kW, 6u));
+        break;
+      case LayerKind::FullyConnected:
+      case LayerKind::Rnn:
+      case LayerKind::Lstm:
+        s.inC = std::min(l.inC, 48u);
+        s.outC = std::min(l.outC, 24u);
+        break;
+      case LayerKind::Pool:
+        s.inC = std::min(l.inC, 6u);
+        s.inH = std::min(l.inH, std::max(l.kH * 2, 8u));
+        s.inW = std::min(l.inW, std::max(l.kW * 2, 8u));
+        break;
+      case LayerKind::Activation:
+        s.inC = std::min(l.inC, 4u);
+        s.inH = std::min(l.inH, 6u);
+        s.inW = std::min(l.inW, 6u);
+        break;
+    }
+    return s;
+}
+
+Network
+shrinkNetwork(const Network &net)
+{
+    std::vector<Layer> layers;
+    for (const Layer &l : net.layers())
+        layers.push_back(shrinkLayer(l));
+    return Network(net.name() + "-small", layers);
+}
+
+/**
+ * Memory image for a compiled network: every block's input and
+ * weight regions filled with representable random values (the
+ * output regions stay zero; MAC blocks preload them as initial
+ * accumulators, which needs no representability).
+ */
+MemoryModel
+seedMemory(const CompiledNetwork &cn, unsigned seed)
+{
+    // The plans' static memory-extent analysis bounds every address
+    // any block can touch (the gemm view of RNN/LSTM blocks reads
+    // and writes more than the per-layer element counts suggest).
+    std::uint64_t total = 0;
+    for (const LayerSchedule &sched : cn.schedules)
+        total = std::max(
+            total, ExecPlan::build(sched.block)->memoryExtent());
+
+    MemoryModel mem;
+    mem.allocate(total);
+    Prng prng(seed);
+    for (const LayerSchedule &sched : cn.schedules) {
+        const Layer &l = sched.layer;
+        const auto &base = sched.block.baseAddr;
+        const std::uint64_t inElems =
+            l.kind == LayerKind::Conv
+                ? static_cast<std::uint64_t>(l.inC) *
+                      (l.inH + 2 * l.pad) * (l.inW + 2 * l.pad)
+                : l.inputCount();
+        for (std::uint64_t i = 0; i < inElems; ++i)
+            mem.write(base[0] + i,
+                      l.bits.aSigned ? prng.nextSigned(l.bits.aBits)
+                                     : prng.nextUnsigned(l.bits.aBits));
+        if (sched.usesMacArray) {
+            for (std::uint64_t i = 0; i < l.weightCount(); ++i)
+                mem.write(base[2] + i,
+                          l.bits.wSigned
+                              ? prng.nextSigned(l.bits.wBits)
+                              : prng.nextUnsigned(l.bits.wBits));
+        }
+    }
+    return mem;
+}
+
+TEST(PlanParity, ModelZooStatsAndMemoryIdentical)
+{
+    const Compiler compiler(batch1Config());
+    unsigned seed = 100;
+    for (const zoo::Benchmark &bench : zoo::all()) {
+        for (const Network *variant :
+             {&bench.quantized, &bench.baseline}) {
+            const Network net = shrinkNetwork(*variant);
+            const CompiledNetwork cn = compiler.compile(net);
+            const MemoryModel seedMem = seedMemory(cn, ++seed);
+
+            MemoryModel legacyMem = seedMem;
+            MemoryModel planMem = seedMem;
+            Interpreter legacy(legacyMem);
+            Interpreter plan(planMem);
+            for (const LayerSchedule &sched : cn.schedules) {
+                legacy.runLegacy(sched.block);
+                plan.run(*ExecPlan::build(sched.block));
+            }
+            expectStatsEqual(legacy.stats(), plan.stats(), net.name());
+            expectMemoryEqual(legacyMem, planMem, net.name());
+            // The zoo exercises both MAC paths: memoized (<= 8x8)
+            // and exact 16-bit fallback.
+            EXPECT_GT(plan.stats().macs, 0u) << net.name();
+        }
+    }
+}
+
+// --------------------------------------- compiler-emitted blocks
+
+TEST(PlanParity, RandomConvBlocksAllConfigs)
+{
+    const Compiler compiler(batch1Config());
+    const FusionConfig cfgs[] = {zoo::cfg1x1(), zoo::cfg2x2(),
+                                 zoo::cfg4x1(), zoo::cfg4x4(),
+                                 zoo::cfg8x8(), zoo::cfg16x16()};
+    unsigned seed = 500;
+    for (const FusionConfig &cfg : cfgs) {
+        const Layer layer =
+            Layer::conv("c", 4, 7, 7, 6, 3, 1, 1, cfg, 2);
+        Prng prng(++seed);
+        Tensor input(layer.inC, layer.inH, layer.inW);
+        input.fillRandom(prng, cfg.aBits, cfg.aSigned);
+        Tensor weights(layer.weightCount());
+        weights.fillRandom(prng, cfg.wBits, cfg.wSigned);
+
+        MemoryModel mem;
+        BlockBases bases;
+        const unsigned hp = layer.inH + 2 * layer.pad;
+        const unsigned wp = layer.inW + 2 * layer.pad;
+        bases.input = mem.allocate(
+            static_cast<std::size_t>(layer.inC) * hp * wp);
+        for (unsigned c = 0; c < layer.inC; ++c)
+            for (unsigned y = 0; y < layer.inH; ++y)
+                for (unsigned x = 0; x < layer.inW; ++x)
+                    mem.write(bases.input +
+                                  (static_cast<std::uint64_t>(c) * hp +
+                                   (y + layer.pad)) *
+                                      wp +
+                                  (x + layer.pad),
+                              input.at(c, y, x));
+        bases.weights = mem.allocate(weights.size());
+        for (std::size_t i = 0; i < weights.size(); ++i)
+            mem.write(bases.weights + i, weights[i]);
+        bases.output = mem.allocate(layer.outputCount());
+
+        ActFusion act;
+        act.enabled = true;
+        act.shift = 3;
+        act.outBits = 8;
+        checkBlockParity(compiler.emitConv(layer, bases, 3, act), mem,
+                         "conv " + cfg.toString());
+    }
+}
+
+TEST(PlanParity, RandomFcBlocksAllConfigs)
+{
+    const Compiler compiler(batch1Config());
+    const FusionConfig cfgs[] = {zoo::cfg1x1(), zoo::cfg2x2(),
+                                 zoo::cfg4x1(), zoo::cfg4x4(),
+                                 zoo::cfg8x8(), zoo::cfg16x16()};
+    unsigned seed = 600;
+    for (const FusionConfig &cfg : cfgs) {
+        const Layer layer = Layer::fc("f", 24, 10, cfg);
+        Prng prng(++seed);
+        Tensor input(static_cast<std::size_t>(layer.inC));
+        input.fillRandom(prng, cfg.aBits, cfg.aSigned);
+        Tensor weights(layer.weightCount());
+        weights.fillRandom(prng, cfg.wBits, cfg.wSigned);
+
+        MemoryModel mem;
+        BlockBases bases;
+        bases.input = mem.allocate(input.size());
+        for (std::size_t i = 0; i < input.size(); ++i)
+            mem.write(bases.input + i, input[i]);
+        bases.weights = mem.allocate(weights.size());
+        for (std::size_t i = 0; i < weights.size(); ++i)
+            mem.write(bases.weights + i, weights[i]);
+        bases.output = mem.allocate(layer.outC);
+
+        // The 2-D set-rows weight DMA makes this the interesting
+        // case for the plan's row handling.
+        checkBlockParity(compiler.emitFc(layer, bases, 5, 8), mem,
+                         "fc " + cfg.toString());
+    }
+}
+
+// --------------------------------------------- randomized blocks
+
+/**
+ * Build a random valid block the compiler would never emit: sparse
+ * loop ids, random per-level placement of transfers, set-rows 2-D
+ * weight DMA, and a MAC or pooling body. Every rd-buf is covered by
+ * a prior ld-mem fill, so both interpreter paths stay within their
+ * bounds contracts.
+ */
+InstructionBlock
+fuzzBlock(Prng &prng, MemoryModel &mem)
+{
+    const FusionConfig cfgs[] = {zoo::cfg1x1(), zoo::cfg2x2(),
+                                 zoo::cfg4x1(), zoo::cfg4x4(),
+                                 zoo::cfg8x8(), zoo::cfg16x16()};
+    const FusionConfig cfg = cfgs[prng.below(6)];
+    const unsigned depth = 1 + static_cast<unsigned>(prng.below(4));
+
+    // Sparse, shuffled loop ids in [0, 48).
+    std::vector<unsigned> ids;
+    for (unsigned i = 0; i < 48; ++i)
+        ids.push_back(i);
+    for (unsigned i = 47; i > 0; --i)
+        std::swap(ids[i], ids[prng.below(i + 1)]);
+    ids.resize(depth);
+
+    // 1..3 iterations each (the ISA forbids zero-trip loops).
+    std::vector<std::uint64_t> iters(depth);
+    for (unsigned d = 0; d < depth; ++d)
+        iters[d] = 1 + prng.below(3);
+
+    InstructionBlock b;
+    b.name = "fuzz";
+    b.config = cfg;
+    b.actShift = static_cast<unsigned>(prng.below(4));
+    b.actOutBits = prng.below(2) ? 8 : 0;
+
+    auto &ins = b.instructions;
+    ins.push_back(Instruction::setup(cfg.aBits, cfg.wBits, cfg.aSigned,
+                                     cfg.wSigned));
+    for (unsigned d = 0; d < depth; ++d)
+        ins.push_back(Instruction::loop(ids[d], iters[d]));
+
+    const auto IB = BufferId::Ibuf;
+    const auto OB = BufferId::Obuf;
+    const auto WB = BufferId::Wbuf;
+    const auto ACC = AddrSpace::BufAccess;
+    const auto MEM = AddrSpace::Mem;
+    const auto FILL = AddrSpace::BufFill;
+
+    // The OBUF read/write level; IB/WB are read at the innermost
+    // level, OB at obLevel (mirroring the compiler's accumulator
+    // placement, but at a random height).
+    const unsigned obLevel =
+        1 + static_cast<unsigned>(prng.below(depth));
+
+    // Access expressions: random (declared-loop, stride) terms whose
+    // loops are active at the op's level.
+    auto maxAddr = [&](unsigned buf) {
+        std::uint64_t top = 0;
+        for (const Instruction &inst : ins) {
+            if (inst.op != Opcode::GenAddr ||
+                inst.buffer() != static_cast<BufferId>(buf) ||
+                inst.space() != ACC) {
+                continue;
+            }
+            for (unsigned d = 0; d < depth; ++d)
+                if (ids[d] == inst.id && iters[d] > 0)
+                    top += (iters[d] - 1) * inst.fullImm();
+        }
+        return top;
+    };
+    auto emitAccess = [&](BufferId buf, unsigned level) {
+        for (unsigned d = 0; d < level; ++d)
+            if (prng.below(2))
+                ins.push_back(Instruction::genAddr(
+                    buf, ACC, ids[d], 1 + prng.below(3)));
+    };
+    emitAccess(IB, depth);
+    emitAccess(WB, depth);
+    emitAccess(OB, obLevel);
+
+    const std::uint64_t ibufNeed =
+        maxAddr(static_cast<unsigned>(IB)) + 1;
+    const std::uint64_t obufNeed =
+        maxAddr(static_cast<unsigned>(OB)) + 1;
+    const std::uint64_t wbufAccessNeed =
+        maxAddr(static_cast<unsigned>(WB)) + 1;
+
+    // WBUF loads through a set-rows 2-D DMA; rows * words covers the
+    // access range.
+    const std::uint64_t wbRows = 1 + prng.below(3);
+    const std::uint64_t wbWords = divCeil(wbufAccessNeed, wbRows);
+    ins.push_back(
+        Instruction::genAddr(WB, MEM, addr_id::dmaRow, wbWords));
+    ins.push_back(
+        Instruction::genAddr(WB, FILL, addr_id::dmaRow, wbWords));
+
+    // Memory regions (base addresses via the shared bump model).
+    const std::uint64_t ibufBase = mem.allocate(ibufNeed);
+    const std::uint64_t obufBase = mem.allocate(obufNeed);
+    const std::uint64_t wbufBase = mem.allocate(wbRows * wbWords);
+    b.baseAddr = {ibufBase, obufBase, wbufBase};
+    Prng fill(prng.next());
+    for (std::uint64_t i = 0; i < ibufNeed; ++i)
+        mem.write(ibufBase + i,
+                  cfg.aSigned ? fill.nextSigned(cfg.aBits)
+                              : fill.nextUnsigned(cfg.aBits));
+    for (std::uint64_t i = 0; i < wbRows * wbWords; ++i)
+        mem.write(wbufBase + i,
+                  cfg.wSigned ? fill.nextSigned(cfg.wBits)
+                              : fill.nextUnsigned(cfg.wBits));
+
+    // Body: fills at a level above the reads, a MAC or pooling
+    // reduction at the innermost level, a store on the way out.
+    const unsigned ldLevel =
+        static_cast<unsigned>(prng.below(obLevel + 1));
+    ins.push_back(Instruction::ldMem(IB, ldLevel, ibufNeed));
+    ins.push_back(Instruction::setRows(ldLevel, wbRows));
+    ins.push_back(Instruction::ldMem(WB, ldLevel, wbWords));
+    ins.push_back(Instruction::ldMem(OB, ldLevel, obufNeed));
+    const bool pooling = prng.below(4) == 0;
+    ins.push_back(Instruction::rdBuf(OB, obLevel));
+    if (pooling) {
+        ins.push_back(Instruction::compute(ComputeFn::Reset, obLevel));
+        ins.push_back(Instruction::rdBuf(IB, depth));
+        ins.push_back(Instruction::compute(ComputeFn::Max, depth));
+    } else {
+        ins.push_back(Instruction::rdBuf(IB, depth));
+        ins.push_back(Instruction::rdBuf(WB, depth));
+        ins.push_back(Instruction::compute(ComputeFn::Mac, depth));
+    }
+    ins.push_back(Instruction::wrBuf(OB, obLevel, true));
+    ins.push_back(Instruction::stMem(OB, ldLevel, obufNeed, true,
+                                     prng.below(2) != 0));
+    ins.push_back(Instruction::blockEnd(0));
+    b.validate();
+    return b;
+}
+
+TEST(PlanParity, FuzzedBlocks)
+{
+    Prng prng(20260731);
+    for (unsigned round = 0; round < 60; ++round) {
+        MemoryModel mem;
+        const InstructionBlock block = fuzzBlock(prng, mem);
+        checkBlockParity(block, mem,
+                         "fuzz round " + std::to_string(round));
+    }
+}
+
+TEST(PlanParity, ZeroTripLoopRunsPrologueAndEpilogueOnly)
+{
+    // The Instruction::loop builder rejects zero iterations, but a
+    // decoded word stream does not: a block arriving through
+    // decodeWords can carry a zero-trip loop, and both paths must
+    // agree (pre/post spans outside the loop still run; the body
+    // and its stats never happen).
+    InstructionBlock b;
+    b.name = "zero-trip";
+    b.config = zoo::cfg8x8();
+    auto &ins = b.instructions;
+    ins.push_back(Instruction::setup(8, 8, false, true));
+    ins.push_back(Instruction::loop(3, 2));
+    ins.push_back(Instruction::loop(7, 1)); // imm zeroed below
+    ins.push_back(Instruction::genAddr(BufferId::Ibuf,
+                                       AddrSpace::BufAccess, 3, 1));
+    ins.push_back(Instruction::genAddr(BufferId::Obuf,
+                                       AddrSpace::BufAccess, 3, 1));
+    ins.push_back(Instruction::ldMem(BufferId::Ibuf, 0, 2));
+    ins.push_back(Instruction::rdBuf(BufferId::Ibuf, 1));
+    ins.push_back(Instruction::rdBuf(BufferId::Wbuf, 2));
+    ins.push_back(Instruction::compute(ComputeFn::Mac, 2));
+    ins.push_back(Instruction::wrBuf(BufferId::Obuf, 1, true));
+    ins.push_back(Instruction::stMem(BufferId::Obuf, 0, 2, true));
+    ins.push_back(Instruction::blockEnd(0));
+    // Zero the inner loop's iteration count the way a word stream
+    // would deliver it.
+    for (Instruction &inst : ins)
+        if (inst.op == Opcode::Loop && inst.id == 7)
+            inst.imm = 0;
+    b.validate();
+
+    MemoryModel mem;
+    const std::uint64_t base = mem.allocate(4);
+    mem.write(base + 0, 5);
+    mem.write(base + 1, 7);
+    b.baseAddr = {base, base + 2, base};
+    checkBlockParity(b, mem, "zero-trip");
+
+    // The inner body never ran: no MACs, no WBUF reads; the outer
+    // level's rd/wr and the transfers did.
+    MemoryModel planMem = mem;
+    Interpreter interp(planMem);
+    interp.run(*ExecPlan::build(b));
+    EXPECT_EQ(interp.stats().macs, 0u);
+    EXPECT_EQ(interp.stats().bufReads[2], 0u);
+    EXPECT_EQ(interp.stats().bufReads[0], 2u);
+    EXPECT_EQ(interp.stats().bufWrites[1], 2u);
+    EXPECT_EQ(interp.stats().dramLoadElems[0], 2u);
+    EXPECT_EQ(interp.stats().dramStoreElems[1], 2u);
+}
+
+TEST(PlanParity, UnknownComputeFnIsANoOpOnBothPaths)
+{
+    // fn() is a raw 3-bit field: a decoded word stream can carry
+    // 4..7, which the reference walk's switch executes as a silent
+    // no-op. The lowering must drop it the same way (and count
+    // nothing), not execute garbage.
+    InstructionBlock b;
+    b.name = "unknown-fn";
+    b.config = zoo::cfg8x8();
+    auto &ins = b.instructions;
+    ins.push_back(Instruction::setup(8, 8, false, true));
+    ins.push_back(Instruction::loop(0, 3));
+    ins.push_back(Instruction::genAddr(BufferId::Ibuf,
+                                       AddrSpace::BufAccess, 0, 1));
+    ins.push_back(Instruction::genAddr(BufferId::Obuf,
+                                       AddrSpace::BufAccess, 0, 1));
+    ins.push_back(Instruction::ldMem(BufferId::Ibuf, 0, 3));
+    ins.push_back(Instruction::rdBuf(BufferId::Ibuf, 1));
+    Instruction bogus = Instruction::compute(ComputeFn::Mac, 1);
+    bogus.spec = (bogus.spec & ~0x7u) | 0x5; // fn 5: undefined
+    ins.push_back(bogus);
+    ins.push_back(Instruction::wrBuf(BufferId::Obuf, 1, true));
+    ins.push_back(Instruction::stMem(BufferId::Obuf, 0, 3, true));
+    ins.push_back(Instruction::blockEnd(0));
+    b.validate();
+
+    MemoryModel mem;
+    const std::uint64_t base = mem.allocate(6);
+    for (unsigned i = 0; i < 3; ++i)
+        mem.write(base + i, i + 1);
+    b.baseAddr = {base, base + 3, base};
+    checkBlockParity(b, mem, "unknown-fn");
+
+    MemoryModel planMem = mem;
+    Interpreter interp(planMem);
+    interp.run(*ExecPlan::build(b));
+    EXPECT_EQ(interp.stats().macs, 0u);
+    EXPECT_EQ(interp.stats().auxOps, 0u);
+}
+
+// ----------------------------------------------- plan internals
+
+TEST(ExecPlanStatic, BufferSizesCoverDynamicHighWater)
+{
+    const Compiler compiler(batch1Config());
+    const Layer layer = Layer::fc("f", 96, 40, zoo::cfg8x8());
+    MemoryModel mem;
+    BlockBases bases;
+    bases.input = mem.allocate(layer.inputCount());
+    bases.weights = mem.allocate(layer.weightCount());
+    bases.output = mem.allocate(layer.outputCount());
+    const InstructionBlock block = compiler.emitFc(layer, bases, 8, 16);
+
+    const auto plan = ExecPlan::build(block);
+    Interpreter interp(mem);
+    interp.run(*plan);
+    for (unsigned b = 0; b < 3; ++b)
+        EXPECT_GE(plan->bufferSizes()[b],
+                  interp.stats().bufHighWater[b])
+            << "buffer " << b;
+    EXPECT_TRUE(plan->memoized());
+}
+
+TEST(ExecPlanStatic, SixteenBitFallsBackToExactDecomposition)
+{
+    const Compiler compiler(batch1Config());
+    const Layer layer = Layer::fc("f", 8, 4, zoo::cfg16x16());
+    MemoryModel mem;
+    BlockBases bases;
+    bases.input = mem.allocate(layer.inputCount());
+    bases.weights = mem.allocate(layer.weightCount());
+    bases.output = mem.allocate(layer.outputCount());
+    const auto plan =
+        ExecPlan::build(compiler.emitFc(layer, bases, 4, 8));
+    EXPECT_FALSE(plan->memoized());
+}
+
+TEST(ProductTable, MatchesExactDecomposition)
+{
+    for (const FusionConfig &cfg :
+         {zoo::cfg1x1(), zoo::cfg2x2(), zoo::cfg4x1(), zoo::cfg4x4(),
+          zoo::cfg8x8()}) {
+        const ProductTable *table = productTableFor(cfg);
+        ASSERT_NE(table, nullptr) << cfg.toString();
+        // The decomposition size is value-independent.
+        EXPECT_EQ(table->opsPerMac,
+                  static_cast<std::uint64_t>(bitBrickLanes(cfg.aBits)) *
+                      bitBrickLanes(cfg.wBits))
+            << cfg.toString();
+        // Exhaustive: every raw pair reproduces the exact path.
+        for (std::uint64_t ra = 0; ra < (1ULL << cfg.aBits); ++ra) {
+            const std::int64_t a =
+                cfg.aSigned ? signExtend(ra, cfg.aBits)
+                            : static_cast<std::int64_t>(ra);
+            for (std::uint64_t rw = 0; rw < (1ULL << cfg.wBits);
+                 ++rw) {
+                const std::int64_t w =
+                    cfg.wSigned ? signExtend(rw, cfg.wBits)
+                                : static_cast<std::int64_t>(rw);
+                const auto ops = decomposeMultiply(a, w, cfg);
+                ASSERT_EQ(table->products[(ra << cfg.wBits) | rw],
+                          evaluateDecomposition(ops))
+                    << cfg.toString() << " a=" << a << " w=" << w;
+                ASSERT_EQ(table->products[(ra << cfg.wBits) | rw],
+                          a * w)
+                    << cfg.toString() << " a=" << a << " w=" << w;
+            }
+        }
+    }
+    EXPECT_EQ(productTableFor(zoo::cfg16x16()), nullptr);
+}
+
+// --------------------------------------------------- plan cache
+
+TEST(PlanCache, SameContentSharesOneLowering)
+{
+    const Compiler compiler(batch1Config());
+    const Layer layer = Layer::fc("f", 16, 8, zoo::cfg8x8());
+    MemoryModel mem;
+    BlockBases bases;
+    bases.input = mem.allocate(layer.inputCount());
+    bases.weights = mem.allocate(layer.weightCount());
+    bases.output = mem.allocate(layer.outputCount());
+    InstructionBlock block = compiler.emitFc(layer, bases, 4, 8);
+
+    ArtifactCache cache;
+    const auto first = cache.plan(block);
+    const auto again = cache.plan(block);
+    EXPECT_EQ(first.get(), again.get());
+    EXPECT_EQ(cache.planCount(), 1u);
+    EXPECT_EQ(cache.planHitCount(), 1u);
+    EXPECT_EQ(cache.planSize(), 1u);
+
+    // The name is display-only: a renamed copy shares the plan.
+    InstructionBlock renamed = block;
+    renamed.name = "other";
+    EXPECT_EQ(cache.plan(renamed).get(), first.get());
+    EXPECT_EQ(cache.planCount(), 1u);
+
+    // Different content (a shifted base address) lowers separately.
+    InstructionBlock moved = block;
+    moved.baseAddr[0] += 1;
+    EXPECT_NE(ExecPlan::blockKey(moved), ExecPlan::blockKey(block));
+    EXPECT_NE(cache.plan(moved).get(), first.get());
+    EXPECT_EQ(cache.planCount(), 2u);
+
+    cache.clear();
+    EXPECT_EQ(cache.planCount(), 0u);
+    EXPECT_EQ(cache.planSize(), 0u);
+}
+
+TEST(PlanCache, InjectedCacheIsolatesAccounting)
+{
+    const Compiler compiler(batch1Config());
+    const Layer layer = Layer::fc("f", 20, 10, zoo::cfg8x8());
+    MemoryModel mem;
+    BlockBases bases;
+    bases.input = mem.allocate(layer.inputCount());
+    bases.weights = mem.allocate(layer.weightCount());
+    bases.output = mem.allocate(layer.outputCount());
+    const InstructionBlock block = compiler.emitFc(layer, bases, 5, 10);
+
+    // A private cache sees exactly this interpreter's traffic, no
+    // matter what other tests did to the process cache.
+    ArtifactCache cache;
+    Interpreter interp(mem, &cache);
+    interp.run(block);
+    interp.run(block);
+    interp.run(block);
+    EXPECT_EQ(cache.planCount(), 1u);
+    EXPECT_EQ(cache.planHitCount(), 2u);
+    EXPECT_EQ(cache.planSize(), 1u);
+}
+
+TEST(PlanCache, InterpreterRunUsesProcessCache)
+{
+    const Compiler compiler(batch1Config());
+    const Layer layer = Layer::fc("f", 12, 6, zoo::cfg4x4());
+    MemoryModel mem;
+    BlockBases bases;
+    bases.input = mem.allocate(layer.inputCount());
+    bases.weights = mem.allocate(layer.weightCount());
+    bases.output = mem.allocate(layer.outputCount());
+    const InstructionBlock block = compiler.emitFc(layer, bases, 3, 6);
+
+    ArtifactCache &cache = ArtifactCache::process();
+    const std::size_t builds0 = cache.planCount();
+    const std::size_t hits0 = cache.planHitCount();
+    Interpreter interp(mem);
+    interp.run(block);
+    interp.run(block);
+    EXPECT_EQ(cache.planCount() + cache.planHitCount(),
+              builds0 + hits0 + 2);
+    // The second run is served from the cache (the first may be a
+    // hit too when another test already lowered this block).
+    EXPECT_GE(cache.planHitCount(), hits0 + 1);
+}
+
+} // namespace
+} // namespace bitfusion
