@@ -9,6 +9,7 @@
 
 #include "src/dnn/model_zoo.h"
 #include "src/runner/sweep.h"
+#include "src/sim/bitfusion_platform.h"
 
 int
 main()
@@ -22,9 +23,8 @@ main()
     SweepSpec spec;
     spec.name = "example";
     spec.platforms = {
-        PlatformSpec::bitfusion(AcceleratorConfig::eyerissMatched45(),
-                                 "base"),
-        PlatformSpec::bitfusion(fast, "bw512"),
+        bitfusionPlatform(AcceleratorConfig::eyerissMatched45(), "base"),
+        bitfusionPlatform(fast, "bw512"),
     };
     spec.networks = {
         SweepNetwork::fromBenchmark(zoo::lenet5()),

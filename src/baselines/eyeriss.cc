@@ -117,6 +117,49 @@ EyerissModel::runLayer(const Layer &layer, unsigned out_bits,
     return st;
 }
 
+PlatformSpec
+eyerissPlatform(EyerissConfig cfg)
+{
+    PlatformConfig::Ops<EyerissConfig> ops;
+    ops.batch = [](const EyerissConfig &c) { return c.batch; };
+    ops.equals = [](const EyerissConfig &a, const EyerissConfig &b) {
+        return a.peRows == b.peRows && a.peCols == b.peCols &&
+               a.freqMHz == b.freqMHz && a.sramBits == b.sramBits &&
+               a.operandBits == b.operandBits &&
+               a.bwBitsPerCycle == b.bwBitsPerCycle &&
+               a.batch == b.batch;
+    };
+    ops.describe = [](const EyerissConfig &c) {
+        return "eyeriss: " + std::to_string(c.totalPEs()) +
+               " row-stationary PEs";
+    };
+    PlatformSpec spec;
+    spec.name = "eyeriss";
+    spec.kind = "eyeriss";
+    spec.config = PlatformConfig::wrap(cfg, ops);
+    spec.runsQuantized = false;
+    return spec;
+}
+
+void
+registerEyerissPlatform(PlatformRegistry &r)
+{
+    r.add({"eyeriss", "(no variants)",
+           "row-stationary 16-bit PE array baseline (Fig. 13/14)",
+           [](const std::string &variant) {
+               if (!variant.empty())
+                   BF_FATAL("eyeriss takes no variant, got '", variant,
+                            "'");
+               return eyerissPlatform();
+           },
+           [](const PlatformSpec &spec) -> std::unique_ptr<Platform> {
+               EyerissConfig cfg = spec.config.as<EyerissConfig>();
+               if (spec.batch != 0)
+                   cfg.batch = spec.batch;
+               return std::make_unique<EyerissModel>(cfg);
+           }});
+}
+
 RunStats
 EyerissModel::run(const Network &net, const RunOptions &opts) const
 {

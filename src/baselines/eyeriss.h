@@ -20,6 +20,7 @@
 #define BITFUSION_BASELINES_EYERISS_H
 
 #include "src/core/platform.h"
+#include "src/core/platform_registry.h"
 #include "src/core/stats.h"
 #include "src/dnn/network.h"
 
@@ -69,6 +70,12 @@ class EyerissModel : public Platform
 
     EyerissConfig cfg;
 };
+
+/** Eyeriss baseline spec (16-bit, runs the regular-width model). */
+PlatformSpec eyerissPlatform(EyerissConfig cfg = {});
+
+/** Register the "eyeriss" kind (called by builtin()). */
+void registerEyerissPlatform(PlatformRegistry &r);
 
 } // namespace bitfusion
 

@@ -11,16 +11,18 @@ GpuSpec
 GpuSpec::tegraX2Fp32()
 {
     // 256 CUDA cores x 875 MHz (Table III) x 1 MAC/core/cycle.
+    // 15 W: Tegra X2 max-P board budget (Fig. 17 energy bars).
     return GpuSpec{"tegra-x2-fp32", 256.0 * 875e6, 58e9, 4.0,
-                   8192.0, 20e-6, 0.75};
+                   8192.0, 20e-6, 0.75, 15.0};
 }
 
 GpuSpec
 GpuSpec::titanXpFp32()
 {
     // 3584 CUDA cores x 1531 MHz.
+    // 250 W TDP; INT8 inherits it (same board, same power rail).
     return GpuSpec{"titan-xp-fp32", 3584.0 * 1531e6, 547e9, 4.0,
-                   131072.0, 8e-6, 0.75};
+                   131072.0, 8e-6, 0.75, 250.0};
 }
 
 GpuSpec
@@ -37,6 +39,60 @@ GpuSpec::titanXpInt8()
     // INT8 lands ~1.6x over FP32 end to end, as the paper measures.
     s.efficiency = 0.30;
     return s;
+}
+
+PlatformSpec
+gpuPlatform(GpuSpec gpuSpec)
+{
+    PlatformConfig::Ops<GpuSpec> ops;
+    // GpuSpec carries no batch field; the models default to the
+    // paper's batch 16.
+    ops.batch = [](const GpuSpec &) { return kGpuDefaultBatch; };
+    ops.equals = [](const GpuSpec &a, const GpuSpec &b) {
+        return a.name == b.name &&
+               a.peakMacsPerSec == b.peakMacsPerSec &&
+               a.memBytesPerSec == b.memBytesPerSec &&
+               a.bytesPerElem == b.bytesPerElem &&
+               a.occupancyKnee == b.occupancyKnee &&
+               a.launchOverheadSec == b.launchOverheadSec &&
+               a.efficiency == b.efficiency &&
+               a.boardPowerW == b.boardPowerW;
+    };
+    ops.describe = [](const GpuSpec &s) {
+        return s.name + ": " +
+               std::to_string(static_cast<long long>(
+                   s.peakMacsPerSec / 1e9)) +
+               " Gmac/s roofline";
+    };
+    PlatformSpec spec;
+    spec.name = gpuSpec.name;
+    spec.kind = "gpu";
+    spec.config = PlatformConfig::wrap(std::move(gpuSpec), ops);
+    spec.runsQuantized = false;
+    return spec;
+}
+
+void
+registerGpuPlatform(PlatformRegistry &r)
+{
+    r.add({"gpu", "tegra-x2-fp32 | titan-xp-fp32 | titan-xp-int8",
+           "TensorRT roofline baselines (Fig. 17)",
+           [](const std::string &variant) {
+               const std::string v = canonicalVariant(variant);
+               if (v == "tegrax2fp32" || v == "tegrax2")
+                   return gpuPlatform(GpuSpec::tegraX2Fp32());
+               if (v == "titanxpfp32")
+                   return gpuPlatform(GpuSpec::titanXpFp32());
+               if (v == "titanxpint8")
+                   return gpuPlatform(GpuSpec::titanXpInt8());
+               BF_FATAL("unknown gpu variant '", variant,
+                        "' (try tegra-x2-fp32, titan-xp-fp32, "
+                        "titan-xp-int8)");
+           },
+           [](const PlatformSpec &spec) -> std::unique_ptr<Platform> {
+               return std::make_unique<GpuModel>(
+                   spec.config.as<GpuSpec>(), spec.effectiveBatch());
+           }});
 }
 
 GpuModel::GpuModel(GpuSpec spec, unsigned batch)
@@ -105,6 +161,13 @@ GpuModel::run(const Network &net, const RunOptions &opts) const
             static_cast<std::uint64_t>(compute_sec * 1e9);
         st.memCycles = static_cast<std::uint64_t>(mem_sec * 1e9);
         st.utilization = occupancy;
+
+        // Board power x wall time, using the Simple-timing layer
+        // latency so the energy column never depends on --timing
+        // (a board burns power while the kernel runs either way).
+        const double layer_sec = std::max(compute_sec, mem_sec) +
+                                 _spec.launchOverheadSec;
+        st.energy.computeJ = _spec.boardPowerW * layer_sec;
 
         // Kernel-launch overhead is the per-layer pipeline fill; the
         // Overlap model hides all but one launch (CUDA streams).

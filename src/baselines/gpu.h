@@ -18,6 +18,7 @@
 #include <string>
 
 #include "src/core/platform.h"
+#include "src/core/platform_registry.h"
 #include "src/core/stats.h"
 #include "src/dnn/network.h"
 
@@ -42,6 +43,8 @@ struct GpuSpec
     double launchOverheadSec;
     /** Throughput derating for non-ideal kernels. */
     double efficiency;
+    /** Board power while a kernel runs, watts (energy = P x t). */
+    double boardPowerW;
 
     /** Tegra X2, FP32 (256 cores @ 875 MHz nominal, ~58 GB/s). */
     static GpuSpec tegraX2Fp32();
@@ -63,7 +66,7 @@ class GpuModel : public Platform
 
     PlatformInfo describe() const override;
 
-    /** Run a network for one batch; returns time-only stats. */
+    /** Run a network for one batch; energy is board power x time. */
     RunStats run(const Network &net,
                  const RunOptions &opts) const override;
 
@@ -73,6 +76,12 @@ class GpuModel : public Platform
     GpuSpec _spec;
     unsigned batch;
 };
+
+/** GPU baseline spec (runs the regular-width model, per §V-A). */
+PlatformSpec gpuPlatform(GpuSpec spec);
+
+/** Register the "gpu" kind (called by builtin()). */
+void registerGpuPlatform(PlatformRegistry &r);
 
 } // namespace bitfusion
 

@@ -15,6 +15,7 @@
 #define BITFUSION_BASELINES_STRIPES_H
 
 #include "src/core/platform.h"
+#include "src/core/platform_registry.h"
 #include "src/core/stats.h"
 #include "src/dnn/network.h"
 
@@ -81,6 +82,12 @@ class StripesModel : public Platform
 
     StripesConfig cfg;
 };
+
+/** Stripes baseline spec (runs the quantized model, per Fig. 18). */
+PlatformSpec stripesPlatform(StripesConfig cfg = {});
+
+/** Register the "stripes" kind (called by builtin()). */
+void registerStripesPlatform(PlatformRegistry &r);
 
 } // namespace bitfusion
 

@@ -4,16 +4,23 @@
 #include <utility>
 
 #include "src/common/logging.h"
-#include "src/sim/simulator.h"
 
 namespace bitfusion {
 
-namespace {
+// Each in-tree backend implements one of these in its own
+// registration unit and registers itself through the same add() an
+// out-of-tree backend calls at runtime. Adding a machine in-tree is
+// one forward declaration plus one call here; core headers never
+// name a backend type.
+void registerBitFusionPlatform(PlatformRegistry &r);
+void registerEyerissPlatform(PlatformRegistry &r);
+void registerStripesPlatform(PlatformRegistry &r);
+void registerGpuPlatform(PlatformRegistry &r);
+void registerMxuPlatform(PlatformRegistry &r);
+void registerDianNaoPlatform(PlatformRegistry &r);
 
-/** Lowercase with '-'/'_' stripped, so "TitanXp-INT8" matches
- *  "titan-xp-int8". */
 std::string
-canon(const std::string &s)
+canonicalVariant(const std::string &s)
 {
     std::string out;
     for (char c : s) {
@@ -25,176 +32,17 @@ canon(const std::string &s)
     return out;
 }
 
-PlatformSpec
-parseBitfusion(const std::string &variant)
-{
-    const std::string v = canon(variant);
-    if (v.empty() || v == "45nm" || v == "eyerissmatched")
-        return PlatformSpec::bitfusion(
-            AcceleratorConfig::eyerissMatched45());
-    if (v == "16nm" || v == "gpuscale")
-        return PlatformSpec::bitfusion(AcceleratorConfig::gpuScale16());
-    if (v == "stripestile")
-        return PlatformSpec::bitfusion(
-            AcceleratorConfig::stripesTileMatched45());
-    BF_FATAL("unknown bitfusion variant '", variant,
-             "' (try 45nm, 16nm, stripes-tile)");
-}
-
-PlatformSpec
-parseGpu(const std::string &variant)
-{
-    const std::string v = canon(variant);
-    if (v == "tegrax2fp32" || v == "tegrax2")
-        return PlatformSpec::gpu(GpuSpec::tegraX2Fp32());
-    if (v == "titanxpfp32")
-        return PlatformSpec::gpu(GpuSpec::titanXpFp32());
-    if (v == "titanxpint8")
-        return PlatformSpec::gpu(GpuSpec::titanXpInt8());
-    BF_FATAL("unknown gpu variant '", variant,
-             "' (try tegra-x2-fp32, titan-xp-fp32, titan-xp-int8)");
-}
-
-} // namespace
-
-PlatformSpec
-PlatformSpec::bitfusion(AcceleratorConfig cfg, std::string name)
-{
-    PlatformSpec spec;
-    spec.name = name.empty() ? cfg.name : std::move(name);
-    spec.config = std::move(cfg);
-    spec.runsQuantized = true;
-    return spec;
-}
-
-PlatformSpec
-PlatformSpec::eyeriss(EyerissConfig cfg)
-{
-    PlatformSpec spec;
-    spec.name = "eyeriss";
-    spec.config = cfg;
-    spec.runsQuantized = false;
-    return spec;
-}
-
-PlatformSpec
-PlatformSpec::stripes(StripesConfig cfg)
-{
-    PlatformSpec spec;
-    spec.name = "stripes";
-    spec.config = cfg;
-    spec.runsQuantized = true;
-    return spec;
-}
-
-PlatformSpec
-PlatformSpec::gpu(GpuSpec gpuSpec)
-{
-    PlatformSpec spec;
-    spec.name = gpuSpec.name;
-    spec.config = std::move(gpuSpec);
-    spec.runsQuantized = false;
-    return spec;
-}
-
-std::string
-PlatformSpec::kind() const
-{
-    struct Visitor
-    {
-        std::string operator()(const AcceleratorConfig &) const
-        {
-            return "bitfusion";
-        }
-        std::string operator()(const EyerissConfig &) const
-        {
-            return "eyeriss";
-        }
-        std::string operator()(const StripesConfig &) const
-        {
-            return "stripes";
-        }
-        std::string operator()(const GpuSpec &) const { return "gpu"; }
-    };
-    return std::visit(Visitor{}, config);
-}
-
-unsigned
-PlatformSpec::effectiveBatch() const
-{
-    if (batch != 0)
-        return batch;
-    struct Visitor
-    {
-        unsigned operator()(const AcceleratorConfig &c) const
-        {
-            return c.batch;
-        }
-        unsigned operator()(const EyerissConfig &c) const
-        {
-            return c.batch;
-        }
-        unsigned operator()(const StripesConfig &c) const
-        {
-            return c.batch;
-        }
-        unsigned operator()(const GpuSpec &) const
-        {
-            return kGpuDefaultBatch; // GpuSpec carries no batch field.
-        }
-    };
-    return std::visit(Visitor{}, config);
-}
-
 PlatformRegistry &
 PlatformRegistry::builtin()
 {
     static PlatformRegistry registry = [] {
         PlatformRegistry r;
-        r.add({"bitfusion", "45nm (default) | 16nm | stripes-tile",
-               parseBitfusion,
-               [](const PlatformSpec &spec) -> std::unique_ptr<Platform> {
-                   AcceleratorConfig cfg =
-                       std::get<AcceleratorConfig>(spec.config);
-                   if (spec.batch != 0)
-                       cfg.batch = spec.batch;
-                   return std::make_unique<Simulator>(cfg);
-               }});
-        r.add({"eyeriss", "(no variants)",
-               [](const std::string &variant) {
-                   if (!variant.empty())
-                       BF_FATAL("eyeriss takes no variant, got '",
-                                variant, "'");
-                   return PlatformSpec::eyeriss();
-               },
-               [](const PlatformSpec &spec) -> std::unique_ptr<Platform> {
-                   EyerissConfig cfg =
-                       std::get<EyerissConfig>(spec.config);
-                   if (spec.batch != 0)
-                       cfg.batch = spec.batch;
-                   return std::make_unique<EyerissModel>(cfg);
-               }});
-        r.add({"stripes", "(no variants)",
-               [](const std::string &variant) {
-                   if (!variant.empty())
-                       BF_FATAL("stripes takes no variant, got '",
-                                variant, "'");
-                   return PlatformSpec::stripes();
-               },
-               [](const PlatformSpec &spec) -> std::unique_ptr<Platform> {
-                   StripesConfig cfg =
-                       std::get<StripesConfig>(spec.config);
-                   if (spec.batch != 0)
-                       cfg.batch = spec.batch;
-                   return std::make_unique<StripesModel>(cfg);
-               }});
-        r.add({"gpu", "tegra-x2-fp32 | titan-xp-fp32 | titan-xp-int8",
-               parseGpu,
-               [](const PlatformSpec &spec) -> std::unique_ptr<Platform> {
-                   return std::make_unique<GpuModel>(
-                       std::get<GpuSpec>(spec.config),
-                       spec.effectiveBatch());
-               }});
+        registerBitFusionPlatform(r);
+        registerEyerissPlatform(r);
+        registerStripesPlatform(r);
+        registerGpuPlatform(r);
+        registerMxuPlatform(r);
+        registerDianNaoPlatform(r);
         return r;
     }();
     return registry;
@@ -221,9 +69,9 @@ PlatformRegistry::find(const std::string &kind) const
 std::unique_ptr<Platform>
 PlatformRegistry::build(const PlatformSpec &spec) const
 {
-    const Entry *entry = find(spec.kind());
+    const Entry *entry = find(spec.kind);
     if (entry == nullptr)
-        BF_FATAL("no registered platform kind '", spec.kind(), "'");
+        BF_FATAL("no registered platform kind '", spec.kind, "'");
     return entry->build(spec);
 }
 

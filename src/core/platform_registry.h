@@ -1,17 +1,19 @@
 /**
  * @file
- * PlatformSpec -- a declarative, tagged description of one platform
+ * PlatformSpec -- a declarative description of one platform
  * instance -- and the PlatformRegistry that turns specs into live
  * Platform objects.
  *
  * A spec is what sweep grids, figures, and the CLI traffic in: a
- * config variant (one alternative per backend kind) plus display
- * name, network-variant choice, and an optional batch override.
- * The registry maps each variant alternative to a builder and a
- * CLI parser, so `--platform eyeriss`, `--platform gpu:titan-xp-int8`
- * and a heterogeneous sweep grid all construct platforms through the
- * same door. Adding a backend = one config struct, one Platform
- * subclass, one variant alternative, one registry entry.
+ * type-erased config handle plus kind tag, display name,
+ * network-variant choice, and an optional batch override. The
+ * registry maps each kind to a builder and a CLI parser, so
+ * `--platform eyeriss`, `--platform gpu:titan-xp-int8` and a
+ * heterogeneous sweep grid all construct platforms through the same
+ * door. Core knows no backend by name: every in-tree kind registers
+ * itself through the same add() an out-of-tree backend would use, so
+ * adding a machine means writing one config struct, one Platform
+ * subclass, and one registration unit -- no core-header edits.
  */
 
 #ifndef BITFUSION_CORE_PLATFORM_REGISTRY_H
@@ -20,56 +22,256 @@
 #include <functional>
 #include <memory>
 #include <string>
-#include <variant>
+#include <typeinfo>
+#include <utility>
 #include <vector>
 
-#include "src/baselines/eyeriss.h"
-#include "src/baselines/gpu.h"
-#include "src/baselines/stripes.h"
+#include "src/common/logging.h"
 #include "src/core/platform.h"
-#include "src/sim/config.h"
 
 namespace bitfusion {
 
 /**
- * Declarative description of one platform instance: which backend,
- * with which configuration, under which display name, running which
- * network variant, at which batch size.
+ * Type-erased, immutable platform configuration with value
+ * semantics: copies clone, equality compares the held structs
+ * field-for-field, and the handle exposes the four facts the
+ * generic machinery needs without knowing the concrete type --
+ * default batch, a human description, the config's contribution to
+ * the compile-cache key, and validation.
+ *
+ * A backend wraps its plain config struct with a small table of
+ * function pointers (Ops); no inheritance or member boilerplate is
+ * required on the struct itself.
+ */
+class PlatformConfig
+{
+  public:
+    /**
+     * The per-type hook table. `equals` and `describe` are
+     * mandatory; `batch` defaults to 0 (no config-default batch),
+     * `compileKey` to "" (the backend has no compile step), and
+     * `validate` to a no-op.
+     */
+    template <typename T> struct Ops
+    {
+        /** Default batch the config runs at (0 = none). */
+        unsigned (*batch)(const T &) = nullptr;
+        /** Field-for-field equality; drives serving-class dedup. */
+        bool (*equals)(const T &, const T &) = nullptr;
+        /** One-line human summary of the configuration. */
+        std::string (*describe)(const T &) = nullptr;
+        /**
+         * Contribution to the artifact-cache key; must match the
+         * built Platform's compileKey(). Empty = no compile step.
+         */
+        std::string (*compileKey)(const T &) = nullptr;
+        /** Fatal-check the configuration (sweep-grid entry point). */
+        void (*validate)(const T &) = nullptr;
+    };
+
+    PlatformConfig() = default;
+    PlatformConfig(PlatformConfig &&) = default;
+    PlatformConfig &operator=(PlatformConfig &&) = default;
+
+    PlatformConfig(const PlatformConfig &other)
+        : impl_(other.impl_ ? other.impl_->clone() : nullptr)
+    {
+    }
+
+    PlatformConfig &
+    operator=(const PlatformConfig &other)
+    {
+        if (this != &other)
+            impl_ = other.impl_ ? other.impl_->clone() : nullptr;
+        return *this;
+    }
+
+    /** Wrap a config struct together with its hook table. */
+    template <typename T>
+    static PlatformConfig
+    wrap(T value, Ops<T> ops)
+    {
+        BF_ASSERT(ops.equals != nullptr && ops.describe != nullptr,
+                  "PlatformConfig::Ops needs equals and describe");
+        PlatformConfig config;
+        config.impl_ =
+            std::make_unique<Model<T>>(std::move(value), ops);
+        return config;
+    }
+
+    /** True when no config has been wrapped. */
+    bool empty() const { return impl_ == nullptr; }
+
+    /** The held struct, or nullptr on a type mismatch. */
+    template <typename T>
+    const T *
+    get_if() const
+    {
+        if (impl_ == nullptr || impl_->type() != typeid(T))
+            return nullptr;
+        return static_cast<const T *>(impl_->raw());
+    }
+
+    /** The held struct; fatal on a type mismatch. */
+    template <typename T>
+    const T &
+    as() const
+    {
+        const T *value = get_if<T>();
+        if (value == nullptr) {
+            BF_FATAL("platform config holds ",
+                     impl_ ? impl_->type().name() : "nothing",
+                     ", not ", typeid(T).name());
+        }
+        return *value;
+    }
+
+    /** Config-default batch (0 when empty or the hook is unset). */
+    unsigned batch() const { return impl_ ? impl_->batch() : 0; }
+
+    /** One-line human summary ("(empty)" when unset). */
+    std::string
+    describe() const
+    {
+        return impl_ ? impl_->describe() : "(empty)";
+    }
+
+    /** Compile-cache key contribution ("" = no compile step). */
+    std::string
+    compileKey() const
+    {
+        return impl_ ? impl_->compileKey() : std::string{};
+    }
+
+    /** Fatal-check the held config; fatal when empty. */
+    void
+    validate() const
+    {
+        if (impl_ == nullptr)
+            BF_FATAL("platform spec holds no configuration");
+        impl_->validate();
+    }
+
+    /** Same held type and equal fields (two empties are equal). */
+    bool
+    operator==(const PlatformConfig &other) const
+    {
+        if (impl_ == nullptr || other.impl_ == nullptr)
+            return impl_ == other.impl_;
+        return impl_->type() == other.impl_->type() &&
+               impl_->equals(*other.impl_);
+    }
+
+    bool
+    operator!=(const PlatformConfig &other) const
+    {
+        return !(*this == other);
+    }
+
+  private:
+    struct Concept
+    {
+        virtual ~Concept() = default;
+        virtual std::unique_ptr<const Concept> clone() const = 0;
+        virtual unsigned batch() const = 0;
+        virtual bool equals(const Concept &other) const = 0;
+        virtual std::string describe() const = 0;
+        virtual std::string compileKey() const = 0;
+        virtual void validate() const = 0;
+        virtual const std::type_info &type() const = 0;
+        virtual const void *raw() const = 0;
+    };
+
+    template <typename T> struct Model : Concept
+    {
+        Model(T value, Ops<T> ops)
+            : value(std::move(value)), ops(ops)
+        {
+        }
+
+        std::unique_ptr<const Concept>
+        clone() const override
+        {
+            return std::make_unique<Model<T>>(value, ops);
+        }
+
+        unsigned
+        batch() const override
+        {
+            return ops.batch ? ops.batch(value) : 0;
+        }
+
+        bool
+        equals(const Concept &other) const override
+        {
+            // The caller checked type() equality already.
+            return ops.equals(
+                value, *static_cast<const T *>(other.raw()));
+        }
+
+        std::string describe() const override
+        {
+            return ops.describe(value);
+        }
+
+        std::string
+        compileKey() const override
+        {
+            return ops.compileKey ? ops.compileKey(value)
+                                  : std::string{};
+        }
+
+        void
+        validate() const override
+        {
+            if (ops.validate)
+                ops.validate(value);
+        }
+
+        const std::type_info &type() const override
+        {
+            return typeid(T);
+        }
+
+        const void *raw() const override { return &value; }
+
+        T value;
+        Ops<T> ops;
+    };
+
+    std::unique_ptr<const Concept> impl_;
+};
+
+/**
+ * Declarative description of one platform instance: which backend
+ * kind, with which configuration, under which display name, running
+ * which network variant, at which batch size.
  */
 struct PlatformSpec
 {
-    /** One alternative per registered backend kind. */
-    using Config = std::variant<AcceleratorConfig, EyerissConfig,
-                                StripesConfig, GpuSpec>;
-
     /** Display name; must be unique within a sweep grid. */
     std::string name;
-    Config config;
+    /** Registry kind id ("bitfusion", "eyeriss", "gpu", ...). */
+    std::string kind;
+    /** Type-erased backend configuration. */
+    PlatformConfig config;
     /** Run the quantized model variant (else the regular one). */
     bool runsQuantized = true;
     /** Batch override applied at build time; 0 keeps the config's. */
     unsigned batch = 0;
 
-    /** Bit Fusion platform; name defaults to the config's name. */
-    static PlatformSpec bitfusion(AcceleratorConfig cfg,
-                                  std::string name = "");
-    /** Eyeriss baseline (16-bit, runs the regular-width model). */
-    static PlatformSpec eyeriss(EyerissConfig cfg = {});
-    /** Stripes baseline (runs the quantized model, per Fig. 18). */
-    static PlatformSpec stripes(StripesConfig cfg = {});
-    /** GPU baseline (runs the regular-width model, per §V-A). */
-    static PlatformSpec gpu(GpuSpec spec);
-
-    /** Registry kind of the held config alternative. */
-    std::string kind() const;
     /** Batch the built platform runs at (override or config). */
-    unsigned effectiveBatch() const;
+    unsigned
+    effectiveBatch() const
+    {
+        return batch != 0 ? batch : config.batch();
+    }
 };
 
 /**
- * Builders and CLI parsers for every platform kind. The four paper
- * platforms are pre-registered in builtin(); out-of-tree backends
- * can add() their own entry.
+ * Builders and CLI parsers for every platform kind. The in-tree
+ * backends are pre-registered in builtin() through the same add()
+ * door an out-of-tree backend uses at runtime.
  */
 class PlatformRegistry
 {
@@ -78,7 +280,9 @@ class PlatformRegistry
     {
         /** Kind id (the token before ':' in --platform). */
         std::string kind;
-        /** One-line help: accepted variants after ':'. */
+        /** Accepted variants after ':' ("(no variants)" if none). */
+        std::string variants;
+        /** One-line description of the backend. */
         std::string help;
         /** Parse the (possibly empty) variant into a spec. */
         std::function<PlatformSpec(const std::string &variant)> parse;
@@ -96,7 +300,7 @@ class PlatformRegistry
     /** Look up a kind; nullptr when unknown. */
     const Entry *find(const std::string &kind) const;
 
-    /** Build a platform from a spec (dispatches on the variant). */
+    /** Build a platform from a spec (dispatches on spec.kind). */
     std::unique_ptr<Platform> build(const PlatformSpec &spec) const;
 
     /**
@@ -119,6 +323,13 @@ class PlatformRegistry
   private:
     std::vector<Entry> entries_;
 };
+
+/**
+ * Canonical variant spelling: lowercase with '-'/'_' stripped, so
+ * "TitanXp-INT8" matches "titanxpint8". Registration units use this
+ * to make their variant tokens spelling-insensitive.
+ */
+std::string canonicalVariant(const std::string &s);
 
 } // namespace bitfusion
 

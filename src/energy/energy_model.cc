@@ -35,11 +35,11 @@ EnergyModel::applyBitFusion(LayerStats &stats, unsigned a_bits,
 }
 
 void
-EnergyModel::applyEyeriss(LayerStats &stats,
-                          std::uint64_t sram_capacity_bits)
+EnergyModel::applyFixedPoint(LayerStats &stats, double mac_pj,
+                             std::uint64_t sram_capacity_bits)
 {
     stats.energy.computeJ =
-        static_cast<double>(stats.macs) * fixed16MacPj * 1e-12;
+        static_cast<double>(stats.macs) * mac_pj * 1e-12;
     stats.energy.bufferJ = static_cast<double>(stats.sramBits) *
                            sramEnergyPerBitPj(sram_capacity_bits) *
                            1e-12;
@@ -48,6 +48,13 @@ EnergyModel::applyEyeriss(LayerStats &stats,
     stats.energy.dramJ =
         static_cast<double>(stats.dramLoadBits + stats.dramStoreBits) *
         dramEnergyPerBitPj * 1e-12;
+}
+
+void
+EnergyModel::applyEyeriss(LayerStats &stats,
+                          std::uint64_t sram_capacity_bits)
+{
+    applyFixedPoint(stats, fixed16MacPj, sram_capacity_bits);
 }
 
 void

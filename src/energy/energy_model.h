@@ -38,6 +38,12 @@ class EnergyModel
     /** Eyeriss-style fixed 16-bit MAC energy at 45 nm. */
     static constexpr double fixed16MacPj = 1.6;
 
+    /**
+     * Fixed 8-bit MAC energy at 45 nm (quadratic multiplier scaling
+     * from the 16-bit point, plus the non-scaling accumulate path).
+     */
+    static constexpr double fixed8MacPj = 0.45;
+
     /** Stripes-style serial step (16-bit add + latch) energy. */
     static constexpr double serialStepPj = 0.20;
 
@@ -50,6 +56,15 @@ class EnergyModel
                                unsigned w_bits,
                                std::uint64_t sram_capacity_bits,
                                TechNode tech);
+
+    /**
+     * Fill energy for a fixed-point-MAC layer: compute at @p mac_pj
+     * per MAC, buffers from sramBits at the capacity power law, RF
+     * from rfBits, DRAM from the transfer counts. The shared path
+     * for every fixed-function baseline (Eyeriss, MXU, DianNao).
+     */
+    static void applyFixedPoint(LayerStats &stats, double mac_pj,
+                                std::uint64_t sram_capacity_bits);
 
     /** Fill energy for an Eyeriss layer (16-bit, with RF). */
     static void applyEyeriss(LayerStats &stats,

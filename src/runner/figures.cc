@@ -21,10 +21,14 @@
 #include "src/arch/hw_model.h"
 #include "src/arch/spatial_fusion.h"
 #include "src/arch/temporal_unit.h"
+#include "src/baselines/eyeriss.h"
+#include "src/baselines/gpu.h"
+#include "src/baselines/stripes.h"
 #include "src/common/cli.h"
 #include "src/common/logging.h"
 #include "src/common/table.h"
 #include "src/dnn/model_zoo.h"
+#include "src/sim/bitfusion_platform.h"
 
 namespace bitfusion {
 namespace figures {
@@ -212,9 +216,8 @@ specEyerissComparison(const std::string &name)
 {
     return comparisonSpec(
         name,
-        {PlatformSpec::bitfusion(AcceleratorConfig::eyerissMatched45(),
-                                 "bitfusion"),
-         PlatformSpec::eyeriss()});
+        {bitfusionPlatform(AcceleratorConfig::eyerissMatched45(), "bitfusion"),
+         eyerissPlatform()});
 }
 
 struct PaperRow
@@ -338,7 +341,7 @@ specFig15()
         AcceleratorConfig cfg = AcceleratorConfig::eyerissMatched45();
         cfg.bwBitsPerCycle = w;
         spec.platforms.push_back(
-            PlatformSpec::bitfusion(cfg, "bw" + std::to_string(w)));
+            bitfusionPlatform(cfg, "bw" + std::to_string(w)));
     }
     spec.networks = paperNetworks();
     return spec;
@@ -388,7 +391,7 @@ specFig16()
 {
     SweepSpec spec;
     spec.name = "fig16";
-    spec.platforms = {PlatformSpec::bitfusion(
+    spec.platforms = {bitfusionPlatform(
         AcceleratorConfig::eyerissMatched45(), "bitfusion")};
     spec.networks = paperNetworks();
     spec.batches.assign(std::begin(fig16Batches), std::end(fig16Batches));
@@ -437,11 +440,10 @@ specFig17()
 {
     return comparisonSpec(
         "fig17",
-        {PlatformSpec::bitfusion(AcceleratorConfig::gpuScale16(),
-                                 "bitfusion-16nm"),
-         PlatformSpec::gpu(GpuSpec::tegraX2Fp32()),
-         PlatformSpec::gpu(GpuSpec::titanXpFp32()),
-         PlatformSpec::gpu(GpuSpec::titanXpInt8())});
+        {bitfusionPlatform(AcceleratorConfig::gpuScale16(), "bitfusion-16nm"),
+         gpuPlatform(GpuSpec::tegraX2Fp32()),
+         gpuPlatform(GpuSpec::titanXpFp32()),
+         gpuPlatform(GpuSpec::titanXpInt8())});
 }
 
 void
@@ -503,11 +505,11 @@ specFig18()
 {
     return comparisonSpec(
         "fig18",
-        {PlatformSpec::bitfusion(AcceleratorConfig::stripesTileMatched45(),
-                                 "bitfusion"),
+        {bitfusionPlatform(AcceleratorConfig::stripesTileMatched45(),
+                           "bitfusion"),
          // Both platforms run the same quantized models (Stripes also
          // benefits from the reduced weight bitwidths).
-         PlatformSpec::stripes()});
+         stripesPlatform()});
 }
 
 void
@@ -704,7 +706,7 @@ specAblationCodeopt()
         AcceleratorConfig cfg = AcceleratorConfig::eyerissMatched45();
         cfg.loopOrdering = v.loopOrdering;
         cfg.layerFusion = v.layerFusion;
-        spec.platforms.push_back(PlatformSpec::bitfusion(cfg, v.name));
+        spec.platforms.push_back(bitfusionPlatform(cfg, v.name));
     }
     spec.networks = paperNetworks();
     return spec;
@@ -757,7 +759,7 @@ specAblationBitwidth()
 {
     SweepSpec spec;
     spec.name = "ablation-bitwidth";
-    spec.platforms = {PlatformSpec::bitfusion(
+    spec.platforms = {bitfusionPlatform(
         AcceleratorConfig::eyerissMatched45(), "bitfusion")};
     const auto bench = zoo::vgg7();
     for (unsigned w : ablationWidths) {
@@ -819,7 +821,7 @@ specDse()
             cfg.rows = g.rows;
             cfg.cols = g.cols;
             cfg.bwBitsPerCycle = bw;
-            spec.platforms.push_back(PlatformSpec::bitfusion(
+            spec.platforms.push_back(bitfusionPlatform(
                 cfg, std::to_string(g.rows) + "x" +
                          std::to_string(g.cols) + "-bw" +
                          std::to_string(bw)));
@@ -966,7 +968,8 @@ runPlatforms(const std::vector<std::string> &tokens, unsigned batch,
             lrow.push_back(
                 TextTable::num(rs.secondsPerSample() * 1e6, 2));
             const double uj = rs.energyPerSampleJ() * 1e6;
-            // The GPU roofline is time-only; don't print 0 uJ.
+            // Defensive: an out-of-tree platform without an energy
+            // model prints "-" rather than a misleading 0 uJ.
             erow.push_back(uj > 0.0 ? TextTable::num(uj, 2) : "-");
         }
         lat.addRow(lrow);

@@ -42,8 +42,7 @@ validateSpec(const SweepSpec &spec)
         if (!seen.insert(p.name).second)
             BF_FATAL("sweep '", spec.name, "' has duplicate platform '",
                      p.name, "'");
-        if (const auto *bf = std::get_if<AcceleratorConfig>(&p.config))
-            bf->validate();
+        p.config.validate();
     }
     seen.clear();
     for (const auto &n : spec.networks) {

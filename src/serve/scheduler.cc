@@ -12,6 +12,7 @@
 #include <algorithm>
 #include <limits>
 #include <set>
+#include <utility>
 
 #include "src/common/logging.h"
 
@@ -330,25 +331,95 @@ class SloScheduler : public Scheduler
 
 } // namespace
 
+SchedulerRegistry &
+SchedulerRegistry::builtin()
+{
+    static SchedulerRegistry registry = [] {
+        SchedulerRegistry r;
+        r.add({"fifo",
+               "head-of-line coalescing with the timer-based "
+               "batching window",
+               [] { return std::make_unique<FifoScheduler>(); },
+               nullptr});
+        r.add({"lookahead",
+               "fullest same-network batch; head starvation bounded "
+               "by the window",
+               [] { return std::make_unique<LookaheadScheduler>(); },
+               [](const SchedulerKnobs &knobs) {
+                   if (knobs.maxWaitUs <= 0.0) {
+                       BF_FATAL("the lookahead scheduler needs a "
+                                "positive batching window (maxWaitUs) "
+                                "as its head-of-line starvation "
+                                "bound");
+                   }
+               }});
+        r.add({"edf",
+               "earliest-deadline-first batch pick and join order",
+               [] { return std::make_unique<EdfScheduler>(); },
+               nullptr});
+        r.add({"slo",
+               "grows batches only while every member meets the "
+               "latency budget",
+               [] { return std::make_unique<SloScheduler>(); },
+               [](const SchedulerKnobs &knobs) {
+                   if (knobs.sloBudgetUs <= 0.0) {
+                       BF_FATAL("the slo scheduler needs a positive "
+                                "latency budget (sloBudgetUs)");
+                   }
+               }});
+        return r;
+    }();
+    return registry;
+}
+
+void
+SchedulerRegistry::add(Entry entry)
+{
+    if (find(entry.name) != nullptr)
+        BF_FATAL("duplicate scheduler '", entry.name, "'");
+    entries_.push_back(std::move(entry));
+}
+
+const SchedulerRegistry::Entry *
+SchedulerRegistry::find(const std::string &name) const
+{
+    for (const auto &entry : entries_) {
+        if (entry.name == name)
+            return &entry;
+    }
+    return nullptr;
+}
+
+std::unique_ptr<Scheduler>
+SchedulerRegistry::make(const std::string &name) const
+{
+    const Entry *entry = find(name);
+    if (entry == nullptr) {
+        BF_FATAL("unknown scheduler '", name, "' (known: ", names(),
+                 ")");
+    }
+    return entry->make();
+}
+
+std::string
+SchedulerRegistry::names() const
+{
+    std::string out;
+    for (const auto &entry : entries_)
+        out += (out.empty() ? "" : " | ") + entry.name;
+    return out;
+}
+
 std::unique_ptr<Scheduler>
 makeScheduler(const std::string &name)
 {
-    if (name == "fifo")
-        return std::make_unique<FifoScheduler>();
-    if (name == "lookahead")
-        return std::make_unique<LookaheadScheduler>();
-    if (name == "edf")
-        return std::make_unique<EdfScheduler>();
-    if (name == "slo")
-        return std::make_unique<SloScheduler>();
-    BF_FATAL("unknown scheduler '", name, "' (known: ",
-             schedulerNames(), ")");
+    return SchedulerRegistry::builtin().make(name);
 }
 
-const char *
+std::string
 schedulerNames()
 {
-    return "fifo | lookahead | edf | slo";
+    return SchedulerRegistry::builtin().names();
 }
 
 } // namespace serve

@@ -35,6 +35,7 @@
 
 #include <cstddef>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -112,11 +113,69 @@ class Scheduler
     virtual BatchPlan plan(SchedulerContext &ctx, double now) = 0;
 };
 
+/**
+ * The engine knobs a policy can require at startup (mirrors the
+ * relevant ServeOptions fields without depending on them).
+ */
+struct SchedulerKnobs
+{
+    /** Batching window / starvation bound (maxWaitUs). */
+    double maxWaitUs = 0.0;
+    /** SLO latency budget (sloBudgetUs; 0 = unset). */
+    double sloBudgetUs = 0.0;
+};
+
+/**
+ * Factories for every dispatch policy, mirroring PlatformRegistry:
+ * the built-in policies pre-register in builtin() through the same
+ * add() an out-of-tree scheduler uses at runtime, and the CLI's
+ * --scheduler help and error text are generated from the entries.
+ */
+class SchedulerRegistry
+{
+  public:
+    struct Entry
+    {
+        /** Policy name (the --scheduler token). */
+        std::string name;
+        /** One-line description of the policy. */
+        std::string help;
+        /** Build a fresh policy instance. */
+        std::function<std::unique_ptr<Scheduler>()> make;
+        /**
+         * Fatal-check the engine knobs before a run (a policy that
+         * requires a window or budget rejects a mis-paired setup
+         * here); nullptr = no requirements.
+         */
+        std::function<void(const SchedulerKnobs &)> validate;
+    };
+
+    /** The registry holding the built-in policies. */
+    static SchedulerRegistry &builtin();
+
+    /** Register a policy; fatal on a duplicate name. */
+    void add(Entry entry);
+
+    /** Look up a policy; nullptr when unknown. */
+    const Entry *find(const std::string &name) const;
+
+    /** Build the named policy; fatal on an unknown name. */
+    std::unique_ptr<Scheduler> make(const std::string &name) const;
+
+    const std::vector<Entry> &entries() const { return entries_; }
+
+    /** " | "-joined policy names (for CLI help and errors). */
+    std::string names() const;
+
+  private:
+    std::vector<Entry> entries_;
+};
+
 /** Build the named scheduler; fatal on an unknown name. */
 std::unique_ptr<Scheduler> makeScheduler(const std::string &name);
 
 /** "fifo | lookahead | edf | slo" (for CLI help and errors). */
-const char *schedulerNames();
+std::string schedulerNames();
 
 } // namespace serve
 } // namespace bitfusion

@@ -55,21 +55,20 @@ percentilesJson(const Percentiles &p)
         .set("max", p.max);
 }
 
-/** Replicas with equal keys share one PlatformClass (one compile and
- *  one memoized simulation per shape). The key folds in the built
- *  platform's described configuration and compile key, so two
- *  hand-built specs that share a display name but differ in config
- *  land in distinct classes instead of silently merging. */
-std::string
-classKey(const PlatformSpec &spec, const Platform &built)
+/** Replicas whose specs describe the same machine share one
+ *  PlatformClass (one compile and one memoized simulation per
+ *  shape). Class identity is the spec itself: kind, display name,
+ *  network variant, effective batch, and field-for-field config
+ *  equality through the type-erased handle, so two hand-built specs
+ *  that share a display name but differ in config land in distinct
+ *  classes instead of silently merging. */
+bool
+sameClass(const PlatformSpec &a, const PlatformSpec &b)
 {
-    const PlatformInfo info = built.describe();
-    std::ostringstream key;
-    key << spec.kind() << '|' << spec.name << '|'
-        << spec.effectiveBatch() << (spec.runsQuantized ? "|q|" : "|b|")
-        << info.compute << '|' << info.freqMHz << '|' << info.onChipBits
-        << '|' << info.bwBitsPerCycle << '|' << built.compileKey();
-    return key.str();
+    return a.kind == b.kind && a.name == b.name &&
+           a.runsQuantized == b.runsQuantized &&
+           a.effectiveBatch() == b.effectiveBatch() &&
+           a.config == b.config;
 }
 
 } // namespace
@@ -256,21 +255,18 @@ ServingEngine::ServingEngine(std::vector<PlatformSpec> fleet,
     if (fleet.size() == 1 && opts_.replicas > 1)
         fleet.resize(opts_.replicas, fleet.front());
 
-    std::vector<std::string> keys;
     for (auto &spec : fleet) {
-        std::unique_ptr<Platform> built =
-            PlatformRegistry::builtin().build(spec);
-        const std::string key = classKey(spec, *built);
         std::size_t cls = classes_.size();
         for (std::size_t c = 0; c < classes_.size(); ++c) {
-            if (keys[c] == key) {
+            if (sameClass(classes_[c].spec, spec)) {
                 cls = c;
                 break;
             }
         }
         if (cls == classes_.size()) {
+            std::unique_ptr<Platform> built =
+                PlatformRegistry::builtin().build(spec);
             classes_.emplace_back();
-            keys.push_back(key);
             const unsigned batch = spec.effectiveBatch();
             classes_.back().spec = std::move(spec);
             // Seed the built platform; platformFor reuses it.
@@ -501,16 +497,17 @@ ServingEngine::runLoop(std::vector<InferenceRequest> initial,
 {
     const unsigned cap = maxBatch();
     BF_ASSERT(cap > 0);
+    // make() fatals on an unknown name, so find() is non-null; the
+    // policy's own validate hook rejects mis-paired knobs.
     std::unique_ptr<Scheduler> scheduler =
         makeScheduler(opts_.scheduler);
-    if (opts_.scheduler == "lookahead" && opts_.maxWaitUs <= 0.0) {
-        BF_FATAL("the lookahead scheduler needs a positive batching "
-                 "window (maxWaitUs) as its head-of-line starvation "
-                 "bound");
-    }
-    if (opts_.scheduler == "slo" && opts_.sloBudgetUs <= 0.0) {
-        BF_FATAL("the slo scheduler needs a positive latency budget "
-                 "(sloBudgetUs)");
+    const SchedulerRegistry::Entry *policy =
+        SchedulerRegistry::builtin().find(opts_.scheduler);
+    if (policy->validate) {
+        SchedulerKnobs knobs;
+        knobs.maxWaitUs = opts_.maxWaitUs;
+        knobs.sloBudgetUs = opts_.sloBudgetUs;
+        policy->validate(knobs);
     }
 
     const std::size_t compilesBefore = cache_->compileCount();

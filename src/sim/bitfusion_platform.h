@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Registration unit of the "bitfusion" platform kind: wraps
+ * AcceleratorConfig in the type-erased PlatformConfig handle and
+ * plugs the Simulator into the PlatformRegistry. This is the
+ * exemplar in-tree backend registration (docs/architecture.md,
+ * "writing a backend"); core headers know nothing of it.
+ */
+
+#ifndef BITFUSION_SIM_BITFUSION_PLATFORM_H
+#define BITFUSION_SIM_BITFUSION_PLATFORM_H
+
+#include <string>
+
+#include "src/core/platform_registry.h"
+#include "src/sim/config.h"
+
+namespace bitfusion {
+
+/**
+ * Bit Fusion platform spec (runs the quantized model variant); the
+ * display name defaults to the config's name.
+ */
+PlatformSpec bitfusionPlatform(AcceleratorConfig cfg,
+                               std::string name = "");
+
+/** Register the "bitfusion" kind (called by builtin()). */
+void registerBitFusionPlatform(PlatformRegistry &r);
+
+} // namespace bitfusion
+
+#endif // BITFUSION_SIM_BITFUSION_PLATFORM_H

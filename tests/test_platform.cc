@@ -9,9 +9,13 @@
 
 #include <gtest/gtest.h>
 
+#include "src/baselines/eyeriss.h"
+#include "src/baselines/gpu.h"
+#include "src/baselines/stripes.h"
 #include "src/compiler/codegen.h"
 #include "src/core/platform_registry.h"
 #include "src/dnn/model_zoo.h"
+#include "src/sim/bitfusion_platform.h"
 #include "src/sim/simulator.h"
 
 namespace bitfusion {
@@ -60,7 +64,7 @@ TEST(PlatformParity, BitFusionMatchesSimulator)
     const AcceleratorConfig cfg = AcceleratorConfig::eyerissMatched45();
     const Simulator direct(cfg);
     const auto platform = PlatformRegistry::builtin().build(
-        PlatformSpec::bitfusion(cfg));
+        bitfusionPlatform(cfg));
     for (const auto &bench : parityBenchmarks()) {
         expectSameRun(direct.run(Compiler(cfg).compile(bench.quantized)),
                       platform->run(bench.quantized));
@@ -71,7 +75,7 @@ TEST(PlatformParity, EyerissMatchesModel)
 {
     const EyerissModel direct;
     const auto platform =
-        PlatformRegistry::builtin().build(PlatformSpec::eyeriss());
+        PlatformRegistry::builtin().build(eyerissPlatform());
     for (const auto &bench : parityBenchmarks()) {
         expectSameRun(direct.run(bench.baseline),
                       platform->run(bench.baseline));
@@ -82,7 +86,7 @@ TEST(PlatformParity, StripesMatchesModel)
 {
     const StripesModel direct;
     const auto platform =
-        PlatformRegistry::builtin().build(PlatformSpec::stripes());
+        PlatformRegistry::builtin().build(stripesPlatform());
     for (const auto &bench : parityBenchmarks()) {
         expectSameRun(direct.run(bench.quantized),
                       platform->run(bench.quantized));
@@ -93,7 +97,7 @@ TEST(PlatformParity, GpuMatchesModel)
 {
     const GpuModel direct(GpuSpec::titanXpInt8());
     const auto platform = PlatformRegistry::builtin().build(
-        PlatformSpec::gpu(GpuSpec::titanXpInt8()));
+        gpuPlatform(GpuSpec::titanXpInt8()));
     for (const auto &bench : parityBenchmarks()) {
         expectSameRun(direct.run(bench.baseline),
                       platform->run(bench.baseline));
@@ -120,15 +124,15 @@ TEST(PlatformRegistry, RoundTripDescribe)
         const char *kind;
         const char *name;
     } cases[] = {
-        {PlatformSpec::bitfusion(AcceleratorConfig::eyerissMatched45()),
+        {bitfusionPlatform(AcceleratorConfig::eyerissMatched45()),
          "bitfusion", "bitfusion-eyeriss-matched-45nm"},
-        {PlatformSpec::eyeriss(), "eyeriss", "eyeriss-45nm"},
-        {PlatformSpec::stripes(), "stripes", "stripes-45nm"},
-        {PlatformSpec::gpu(GpuSpec::titanXpFp32()), "gpu",
+        {eyerissPlatform(), "eyeriss", "eyeriss-45nm"},
+        {stripesPlatform(), "stripes", "stripes-45nm"},
+        {gpuPlatform(GpuSpec::titanXpFp32()), "gpu",
          "titan-xp-fp32"},
     };
     for (const auto &c : cases) {
-        EXPECT_EQ(c.spec.kind(), c.kind);
+        EXPECT_EQ(c.spec.kind, c.kind);
         const auto platform = reg.build(c.spec);
         const PlatformInfo info = platform->describe();
         EXPECT_EQ(info.kind, c.kind);
@@ -143,12 +147,12 @@ TEST(PlatformRegistry, RoundTripDescribe)
 TEST(PlatformRegistry, BatchOverrideAppliesAtBuild)
 {
     const PlatformRegistry &reg = PlatformRegistry::builtin();
-    PlatformSpec spec = PlatformSpec::eyeriss();
+    PlatformSpec spec = eyerissPlatform();
     spec.batch = 4;
     EXPECT_EQ(spec.effectiveBatch(), 4u);
     EXPECT_EQ(reg.build(spec)->describe().batch, 4u);
 
-    PlatformSpec gpu = PlatformSpec::gpu(GpuSpec::tegraX2Fp32());
+    PlatformSpec gpu = gpuPlatform(GpuSpec::tegraX2Fp32());
     EXPECT_EQ(gpu.effectiveBatch(), kGpuDefaultBatch);
     gpu.batch = 64;
     EXPECT_EQ(reg.build(gpu)->describe().batch, 64u);
@@ -157,8 +161,8 @@ TEST(PlatformRegistry, BatchOverrideAppliesAtBuild)
 TEST(PlatformRegistry, ParsesCliTokens)
 {
     const PlatformRegistry &reg = PlatformRegistry::builtin();
-    EXPECT_EQ(reg.parse("eyeriss").kind(), "eyeriss");
-    EXPECT_EQ(reg.parse("stripes").kind(), "stripes");
+    EXPECT_EQ(reg.parse("eyeriss").kind, "eyeriss");
+    EXPECT_EQ(reg.parse("stripes").kind, "stripes");
     EXPECT_EQ(reg.parse("bitfusion").name,
               "bitfusion-eyeriss-matched-45nm");
     EXPECT_EQ(reg.parse("bitfusion:16nm").name, "bitfusion-4096fu-16nm");
@@ -199,10 +203,10 @@ TEST(TimingModel, OverlapNeverExceedsSimple)
     // only hide stall cycles, never add them, on every platform.
     const PlatformRegistry &reg = PlatformRegistry::builtin();
     const PlatformSpec specs[] = {
-        PlatformSpec::bitfusion(AcceleratorConfig::eyerissMatched45()),
-        PlatformSpec::eyeriss(),
-        PlatformSpec::stripes(),
-        PlatformSpec::gpu(GpuSpec::titanXpFp32()),
+        bitfusionPlatform(AcceleratorConfig::eyerissMatched45()),
+        eyerissPlatform(),
+        stripesPlatform(),
+        gpuPlatform(GpuSpec::titanXpFp32()),
     };
     for (const auto &spec : specs) {
         const auto platform = reg.build(spec);

@@ -11,7 +11,9 @@
 #include "src/core/artifact_cache.h"
 #include "src/dnn/model_zoo.h"
 #include "src/runner/figures.h"
+#include "src/baselines/eyeriss.h"
 #include "src/runner/sweep.h"
+#include "src/sim/bitfusion_platform.h"
 
 namespace bitfusion {
 namespace {
@@ -46,11 +48,9 @@ tinySpec(std::vector<unsigned> batches = {})
     SweepSpec spec;
     spec.name = "tiny";
     spec.platforms = {
-        PlatformSpec::bitfusion(AcceleratorConfig::eyerissMatched45(),
-                                 "bf-a"),
-        PlatformSpec::bitfusion(AcceleratorConfig::stripesTileMatched45(),
-                                 "bf-b"),
-        PlatformSpec::eyeriss(),
+        bitfusionPlatform(AcceleratorConfig::eyerissMatched45(), "bf-a"),
+        bitfusionPlatform(AcceleratorConfig::stripesTileMatched45(), "bf-b"),
+        eyerissPlatform(),
     };
     spec.networks = {
         SweepNetwork::uniform("net64", tinyNet("net64", 64)),
@@ -100,8 +100,8 @@ TEST(SweepCache, OneCompilePerDistinctConfigNetworkBatch)
     AcceleratorConfig b = a;
     b.bwBitsPerCycle = 512;
     b.freqMHz = 980.0;
-    spec.platforms = {PlatformSpec::bitfusion(a, "slow"),
-                      PlatformSpec::bitfusion(b, "fast")};
+    spec.platforms = {bitfusionPlatform(a, "slow"),
+                      bitfusionPlatform(b, "fast")};
     spec.networks = {SweepNetwork::uniform("net64", tinyNet("net64", 64))};
 
     ArtifactCache cache;
@@ -118,7 +118,7 @@ TEST(SweepCache, DistinctBatchesCompileSeparately)
     // batch size is its own cache entry.
     SweepSpec spec;
     spec.name = "cache-batch";
-    spec.platforms = {PlatformSpec::bitfusion(
+    spec.platforms = {bitfusionPlatform(
         AcceleratorConfig::eyerissMatched45(), "bf")};
     spec.networks = {SweepNetwork::uniform("net64", tinyNet("net64", 64))};
     spec.batches = {1, 4, 16};
@@ -167,9 +167,9 @@ TEST(SweepCache, GeometryChangeSharesCompiledNetwork)
     b.cols = 32;
     AcceleratorConfig c = a;
     c.wbufBits *= 2;
-    spec.platforms = {PlatformSpec::bitfusion(a, "wide"),
-                      PlatformSpec::bitfusion(b, "tall"),
-                      PlatformSpec::bitfusion(c, "bigbuf")};
+    spec.platforms = {bitfusionPlatform(a, "wide"),
+                      bitfusionPlatform(b, "tall"),
+                      bitfusionPlatform(c, "bigbuf")};
     spec.networks = {SweepNetwork::uniform("net64", tinyNet("net64", 64))};
 
     ArtifactCache cache;

@@ -14,10 +14,12 @@
 #include <fstream>
 #include <sstream>
 
+#include "src/baselines/gpu.h"
 #include "src/core/artifact_cache.h"
 #include "src/dnn/model_zoo.h"
 #include "src/serve/scheduler.h"
 #include "src/serve/serving_engine.h"
+#include "src/sim/bitfusion_platform.h"
 
 namespace bitfusion {
 namespace {
@@ -54,8 +56,7 @@ tinyBench(const std::string &name, unsigned out_c)
 PlatformSpec
 bfSpec()
 {
-    return PlatformSpec::bitfusion(AcceleratorConfig::eyerissMatched45(),
-                                   "bf");
+    return bitfusionPlatform(AcceleratorConfig::eyerissMatched45(), "bf");
 }
 
 std::vector<zoo::Benchmark>
@@ -328,7 +329,7 @@ TEST(ServeSchedSlo, HeterogeneousFleetEstimatesOnlyFreeReplicas)
     // to an immediate FIFO fill instead of admitting a future joiner
     // into a batch that would blow its budget on the slow replica.
     const double lat1 = platformLatencyUs(bfSpec(), tinyNet("netA", 64), 1);
-    const PlatformSpec slow = PlatformSpec::gpu(GpuSpec::tegraX2Fp32());
+    const PlatformSpec slow = gpuPlatform(GpuSpec::tegraX2Fp32());
     const double latSlow = platformLatencyUs(slow, tinyNet("netA", 64), 1);
     const double budget = 3.0 * lat1;
     ASSERT_GT(latSlow, budget);
@@ -402,7 +403,7 @@ TEST(ServeFleet, HeterogeneousRoutingPicksTheCheapestPlatform)
     // requests see both replicas free, so every batch must land on
     // whichever platform serves the network cheapest.
     const PlatformSpec fast = bfSpec();
-    const PlatformSpec slow = PlatformSpec::gpu(GpuSpec::tegraX2Fp32());
+    const PlatformSpec slow = gpuPlatform(GpuSpec::tegraX2Fp32());
     const double latFast = platformLatencyUs(fast, tinyNet("netA", 64), 1);
     const double latSlow = platformLatencyUs(slow, tinyNet("netA", 64), 1);
     ASSERT_NE(latFast, latSlow);
@@ -430,10 +431,10 @@ TEST(ServeFleet, SameNameDifferentConfigsStayDistinctClasses)
     // Class identity folds in the built platform's configuration,
     // so two hand-built specs sharing a display name but holding
     // different configs must not merge into one class.
-    const PlatformSpec a = PlatformSpec::bitfusion(
+    const PlatformSpec a = bitfusionPlatform(
         AcceleratorConfig::eyerissMatched45(), "twin");
     const PlatformSpec b =
-        PlatformSpec::bitfusion(AcceleratorConfig::gpuScale16(), "twin");
+        bitfusionPlatform(AcceleratorConfig::gpuScale16(), "twin");
     const double latA = platformLatencyUs(a, tinyNet("netA", 64), 1);
     const double latB = platformLatencyUs(b, tinyNet("netA", 64), 1);
     ASSERT_NE(latA, latB);
@@ -462,8 +463,8 @@ TEST(ServeFleet, DeterministicAcrossThreadCountsAndRuns)
     const auto trace = serve::syntheticTrace(traceSpec);
 
     const std::vector<PlatformSpec> fleet = {
-        bfSpec(), bfSpec(), PlatformSpec::gpu(GpuSpec::titanXpInt8()),
-        PlatformSpec::gpu(GpuSpec::tegraX2Fp32())};
+        bfSpec(), bfSpec(), gpuPlatform(GpuSpec::titanXpInt8()),
+        gpuPlatform(GpuSpec::tegraX2Fp32())};
 
     ServeOptions opts;
     opts.maxBatch = 4;
@@ -508,9 +509,9 @@ TEST(ServeFleet, ParseFleetRoundTripsTokens)
     const auto fleet = PlatformRegistry::builtin().parseFleet(
         "bitfusion,bitfusion:16nm,eyeriss,gpu:titan-xp-int8");
     ASSERT_EQ(fleet.size(), 4u);
-    EXPECT_EQ(fleet[0].kind(), "bitfusion");
+    EXPECT_EQ(fleet[0].kind, "bitfusion");
     EXPECT_EQ(fleet[1].name, "bitfusion-4096fu-16nm");
-    EXPECT_EQ(fleet[2].kind(), "eyeriss");
+    EXPECT_EQ(fleet[2].kind, "eyeriss");
     EXPECT_EQ(fleet[3].name, "titan-xp-int8");
     EXPECT_DEATH(PlatformRegistry::builtin().parseFleet("bitfusion,,eyeriss"),
                  "empty element");

@@ -13,6 +13,7 @@
 #include "src/dnn/model_zoo.h"
 #include "src/runner/sweep.h"
 #include "src/serve/serving_engine.h"
+#include "src/sim/bitfusion_platform.h"
 #include "src/sim/simulator.h"
 
 namespace bitfusion {
@@ -50,8 +51,7 @@ tinyBench(const std::string &name, unsigned out_c)
 PlatformSpec
 bfSpec()
 {
-    return PlatformSpec::bitfusion(AcceleratorConfig::eyerissMatched45(),
-                                   "bf");
+    return bitfusionPlatform(AcceleratorConfig::eyerissMatched45(), "bf");
 }
 
 /** Engine over tiny networks with a private cache and fixed options. */

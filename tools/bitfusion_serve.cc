@@ -52,9 +52,32 @@ usage(const char *argv0)
         "      [--samples PER_REQUEST] [--seed S] [--deadline-us D]\n"
         "      [--networks A,B,...]\n"
         "  batching: [--max-batch B] [--max-wait-us W]\n"
-        "  output: [--json PATH] [--per-request] [--threads N]\n",
-        argv0, schedulerNames());
+        "  output: [--json PATH] [--per-request] [--threads N]\n"
+        "  registries: [--list-platforms] [--list-schedulers]\n",
+        argv0, schedulerNames().c_str());
     return 2;
+}
+
+/** One line per registered platform kind: kind, variants, help. */
+void
+printPlatforms()
+{
+    std::printf("platforms (--platform / --fleet KIND[:VARIANT]):\n");
+    for (const auto &entry : PlatformRegistry::builtin().entries()) {
+        std::printf("  %-11s %-40s %s\n", entry.kind.c_str(),
+                    entry.variants.c_str(), entry.help.c_str());
+    }
+}
+
+/** One line per registered scheduler: name and help. */
+void
+printSchedulers()
+{
+    std::printf("schedulers (--scheduler NAME):\n");
+    for (const auto &entry : SchedulerRegistry::builtin().entries()) {
+        std::printf("  %-11s %s\n", entry.name.c_str(),
+                    entry.help.c_str());
+    }
 }
 
 std::vector<std::string>
@@ -230,6 +253,12 @@ main(int argc, char **argv)
             jsonPath = argv[++i];
         } else if (arg == "--per-request") {
             perRequest = true;
+        } else if (arg == "--list-platforms") {
+            printPlatforms();
+            return 0;
+        } else if (arg == "--list-schedulers") {
+            printSchedulers();
+            return 0;
         } else {
             return usage(argv[0]);
         }

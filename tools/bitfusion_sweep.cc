@@ -25,6 +25,7 @@
 #include "src/common/cli.h"
 #include "src/core/platform_registry.h"
 #include "src/runner/figures.h"
+#include "src/serve/scheduler.h"
 
 namespace {
 
@@ -36,9 +37,34 @@ usage(const char *argv0)
                  "[--per-layer] [--timing simple|overlap]\n"
                  "       %s --all [--threads N]\n"
                  "       %s --platform KIND[:VARIANT] [...] [--batch N]\n"
-                 "       %s --list\n",
+                 "       %s --list | --list-platforms | "
+                 "--list-schedulers\n",
                  argv0, argv0, argv0, argv0);
     return 2;
+}
+
+/** One line per registered platform kind: kind, variants, help. */
+void
+printPlatforms()
+{
+    std::printf("platforms (--platform KIND[:VARIANT]):\n");
+    for (const auto &entry :
+         bitfusion::PlatformRegistry::builtin().entries()) {
+        std::printf("  %-11s %-40s %s\n", entry.kind.c_str(),
+                    entry.variants.c_str(), entry.help.c_str());
+    }
+}
+
+/** One line per registered scheduler: name and help. */
+void
+printSchedulers()
+{
+    std::printf("schedulers (--scheduler NAME, bitfusion_serve):\n");
+    for (const auto &entry :
+         bitfusion::serve::SchedulerRegistry::builtin().entries()) {
+        std::printf("  %-11s %s\n", entry.name.c_str(),
+                    entry.help.c_str());
+    }
 }
 
 } // namespace
@@ -83,6 +109,12 @@ main(int argc, char **argv)
             options.timing = timingArg(argc, argv, i);
         } else if (arg == "--list") {
             list = true;
+        } else if (arg == "--list-platforms") {
+            printPlatforms();
+            return 0;
+        } else if (arg == "--list-schedulers") {
+            printSchedulers();
+            return 0;
         } else if (arg == "--all") {
             run_all = true;
         } else {
@@ -94,10 +126,8 @@ main(int argc, char **argv)
         for (const auto &figure : all())
             std::printf("%-18s %s\n", figure.id.c_str(),
                         figure.title.c_str());
-        std::printf("\nplatforms (--platform KIND[:VARIANT]):\n");
-        for (const auto &entry : PlatformRegistry::builtin().entries())
-            std::printf("%-18s %s\n", entry.kind.c_str(),
-                        entry.help.c_str());
+        std::printf("\n");
+        printPlatforms();
         return 0;
     }
     if (!platforms.empty()) {
