@@ -2,9 +2,9 @@
  * @file
  * Performance benchmark harness: the repo's BENCH trajectory.
  *
- * Times the two interpreter paths against each other -- the legacy
- * recursive reference walk vs the compiled ExecPlan fast path
- * (src/isa/exec_plan.h) -- on interpreter-bound workloads (AlexNet
+ * Times the legacy recursive reference walk against every dispatch
+ * tier of the compiled ExecPlan path (src/isa/exec_plan.h: switch,
+ * threaded, specialized) on interpreter-bound workloads (AlexNet
  * conv layers at 8 bit, a tiled FC with 2-D set-rows DMA, low-bit
  * and 16-bit configs), and the end-to-end analytic sweep wall-clock
  * (fig13, cold vs warm artifact cache). Every measurement lands in
@@ -22,6 +22,7 @@
  * clear the requested multiple on the smoke workload.
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -118,15 +119,44 @@ baselineFc16b(unsigned scale)
                     {Layer::fc("fc", k, k / 4, zoo::cfg16x16())})};
 }
 
-/** Timed result of one interpreter workload. */
+/**
+ * Per-rep wall times of one execution path, reduced to the median
+ * (the reported throughput: robust against a noisy neighbor rep) and
+ * the min (best case; --reps 1 makes them equal).
+ */
+struct PathTiming
+{
+    double medianMs = 0;
+    double minMs = 0;
+};
+
+PathTiming
+reduceTimes(std::vector<double> perRepMs)
+{
+    PathTiming t;
+    if (perRepMs.empty())
+        return t;
+    std::sort(perRepMs.begin(), perRepMs.end());
+    t.minMs = perRepMs.front();
+    const std::size_t n = perRepMs.size();
+    t.medianMs = (n % 2 == 1)
+                     ? perRepMs[n / 2]
+                     : 0.5 * (perRepMs[n / 2 - 1] + perRepMs[n / 2]);
+    return t;
+}
+
+/** Timed result of one interpreter workload, all execution paths. */
 struct InterpResult
 {
     std::uint64_t macs = 0;
-    double legacyMs = 0;
-    double planExecMs = 0;
+    /** Wall time per path: legacy walk, then one entry per tier. */
+    PathTiming legacy;
+    PathTiming tier[kDispatchTierCount];
     double planBuildMs = 0;
-    bool statsEqual = false;
+    /** Stats AND memory bit-identical to legacy on every tier. */
+    bool parity = false;
     bool planMemoized = false;
+    bool planFused = false;
 };
 
 InterpResult
@@ -150,30 +180,54 @@ runInterpWorkload(const Workload &w, unsigned reps)
     for (const auto &plan : plans) {
         extent = std::max(extent, plan->memoryExtent());
         r.planMemoized = r.planMemoized || plan->memoized();
+        r.planFused = r.planFused || plan->fused();
     }
 
     // Zero-filled memory: representable under every config, and the
     // interpreters' cost is data-independent.
-    MemoryModel legacyMem;
-    legacyMem.allocate(extent);
-    MemoryModel planMem = legacyMem;
+    MemoryModel seedMem;
+    seedMem.allocate(extent);
 
+    MemoryModel legacyMem = seedMem;
     Interpreter legacy(legacyMem);
-    const auto legacyStart = Clock::now();
-    for (unsigned rep = 0; rep < reps; ++rep)
+    std::vector<double> times;
+    times.reserve(reps);
+    for (unsigned rep = 0; rep < reps; ++rep) {
+        const auto start = Clock::now();
         for (const LayerSchedule &sched : cn.schedules)
             legacy.runLegacy(sched.block);
-    r.legacyMs = msSince(legacyStart);
+        times.push_back(msSince(start));
+    }
+    r.legacy = reduceTimes(times);
+    r.macs = legacy.stats().macs / reps;
 
-    Interpreter plan(planMem);
-    const auto planStart = Clock::now();
-    for (unsigned rep = 0; rep < reps; ++rep)
-        for (const auto &p : plans)
-            plan.run(*p);
-    r.planExecMs = msSince(planStart);
+    r.parity = true;
+    for (unsigned t = 0; t < kDispatchTierCount; ++t) {
+        const DispatchTier tierId = static_cast<DispatchTier>(t);
+        MemoryModel tierMem = seedMem;
+        Interpreter interp(tierMem);
+        times.clear();
+        for (unsigned rep = 0; rep < reps; ++rep) {
+            const auto start = Clock::now();
+            for (const auto &p : plans)
+                interp.run(*p, tierId);
+            times.push_back(msSince(start));
+        }
+        r.tier[t] = reduceTimes(times);
 
-    r.macs = plan.stats().macs / reps;
-    r.statsEqual = legacy.stats() == plan.stats();
+        // Full-parity check per tier: every InterpStats counter and
+        // every off-chip memory word, against the legacy walk.
+        bool same = legacy.stats() == interp.stats() &&
+                    legacyMem.size() == tierMem.size();
+        for (std::uint64_t a = 0; same && a < legacyMem.size(); ++a)
+            same = legacyMem.read(a) == tierMem.read(a);
+        if (!same) {
+            std::fprintf(stderr,
+                         "%s: %s tier diverged from the legacy walk\n",
+                         w.name.c_str(), dispatchTierName(tierId));
+            r.parity = false;
+        }
+    }
     return r;
 }
 
@@ -221,6 +275,7 @@ main(int argc, char **argv)
     unsigned reps = 1;
     unsigned threads = 1;
     double minSpeedup = 0;
+    double minSpeedup16b = 0;
     std::string jsonPath;
     bool skipSweep = false;
 
@@ -245,6 +300,9 @@ main(int argc, char **argv)
             scale = 1;
         } else if (arg == "--min-speedup") {
             minSpeedup = cli::doubleArg(argc, argv, i, "--min-speedup");
+        } else if (arg == "--min-speedup-16b") {
+            minSpeedup16b =
+                cli::doubleArg(argc, argv, i, "--min-speedup-16b");
         } else if (arg == "--json") {
             if (i + 1 >= argc) {
                 std::fprintf(stderr, "--json needs a path\n");
@@ -257,18 +315,28 @@ main(int argc, char **argv)
             std::printf(
                 "usage: bench_perf [--scale N] [--quick | --full]\n"
                 "                  [--reps N] [--threads N]\n"
-                "                  [--min-speedup X] [--json PATH]\n"
-                "                  [--skip-sweep]\n"
+                "                  [--min-speedup X]\n"
+                "                  [--min-speedup-16b X]\n"
+                "                  [--json PATH] [--skip-sweep]\n"
                 "\n"
-                "Times the legacy interpreter walk against the\n"
-                "compiled ExecPlan path and the fig13 sweep\n"
-                "wall-clock; see docs/performance.md.\n");
+                "Times the legacy interpreter walk against every\n"
+                "ExecPlan dispatch tier (switch, threaded,\n"
+                "specialized) and the fig13 sweep wall-clock;\n"
+                "--reps N reports the median (and records the min)\n"
+                "over N timed repetitions. See docs/performance.md.\n");
             return 0;
         } else {
             std::fprintf(stderr, "unknown flag '%s'\n", argv[i]);
             return 2;
         }
     }
+
+    // The bench times every tier explicitly, but a BITFUSION_DISPATCH
+    // override still steers the end-to-end sweep below (and any
+    // Interpreter::run default path); validate it up front so a typo
+    // fails loudly instead of being silently ignored under
+    // --skip-sweep.
+    (void)defaultDispatchTier();
 
     const std::vector<Workload> workloads = {
         alexnetConv8b(scale),
@@ -278,32 +346,47 @@ main(int argc, char **argv)
     };
 
     json::Value entries = json::Value::array();
-    std::printf("interpreter throughput (scale %u, reps %u)\n", scale,
-                reps);
-    std::printf("%-18s %12s %14s %14s %9s %10s\n", "workload", "Mmacs",
-                "legacy Mmac/s", "plan Mmac/s", "speedup",
-                "build ms");
+    std::printf("interpreter throughput (scale %u, reps %u, "
+                "Mmac/s per path, median over reps)\n",
+                scale, reps);
+    std::printf("%-18s %9s %9s %9s %9s %9s %9s %9s\n", "workload",
+                "Mmacs", "legacy", "switch", "threaded", "special",
+                "speedup", "build ms");
+
+    // The product tables must be built at most once per distinct
+    // memoizable config for the whole process: the workload set has
+    // two (8x8 and 2x2; 16x16 exceeds the table), and every further
+    // plan lowering must hit the cache.
+    const ProductTableCacheStats cacheBefore = productTableCacheStats();
 
     bool parityOk = true;
     double smokeSpeedup = 0;
+    double speedup16b = 0;
     for (const Workload &w : workloads) {
         const InterpResult r = runInterpWorkload(w, reps);
-        parityOk = parityOk && r.statsEqual;
+        parityOk = parityOk && r.parity;
         const double mmacs = static_cast<double>(r.macs) / 1e6;
-        const double legacyRate =
-            r.legacyMs > 0 ? mmacs * reps / (r.legacyMs / 1e3) : 0;
-        const double planRate =
-            r.planExecMs > 0 ? mmacs * reps / (r.planExecMs / 1e3) : 0;
+        auto rate = [mmacs](double ms) {
+            return ms > 0 ? mmacs / (ms / 1e3) : 0;
+        };
+        const unsigned spec =
+            static_cast<unsigned>(DispatchTier::Specialized);
         const double speedup =
-            r.planExecMs > 0 ? r.legacyMs / r.planExecMs : 0;
+            r.tier[spec].medianMs > 0
+                ? r.legacy.medianMs / r.tier[spec].medianMs
+                : 0;
         if (w.name == "alexnet_conv_8b")
             smokeSpeedup = speedup;
-        std::printf("%-18s %12.2f %14.1f %14.1f %8.1fx %10.2f%s\n",
-                    w.name.c_str(), mmacs, legacyRate, planRate,
-                    speedup, r.planBuildMs,
-                    r.statsEqual ? "" : "  STATS MISMATCH");
+        if (w.name == "baseline_fc_16b")
+            speedup16b = speedup;
+        std::printf(
+            "%-18s %9.2f %9.1f %9.1f %9.1f %9.1f %8.1fx %9.2f%s\n",
+            w.name.c_str(), mmacs, rate(r.legacy.medianMs),
+            rate(r.tier[0].medianMs), rate(r.tier[1].medianMs),
+            rate(r.tier[spec].medianMs), speedup, r.planBuildMs,
+            r.parity ? "" : "  PARITY MISMATCH");
 
-        auto entry = [&](const char *metric, double value,
+        auto entry = [&](const std::string &metric, double value,
                          const char *unit) {
             entries.push(json::Value::object()
                              .set("section", "interp")
@@ -313,15 +396,54 @@ main(int argc, char **argv)
                              .set("unit", unit));
         };
         entry("macs", static_cast<double>(r.macs), "mac");
-        entry("legacy_mmacs_per_s", legacyRate, "Mmac/s");
-        entry("plan_mmacs_per_s", planRate, "Mmac/s");
+        entry("legacy_mmacs_per_s", rate(r.legacy.medianMs), "Mmac/s");
+        entry("legacy_mmacs_per_s_min", rate(r.legacy.minMs),
+              "Mmac/s");
+        for (unsigned t = 0; t < kDispatchTierCount; ++t) {
+            const std::string tierName =
+                dispatchTierName(static_cast<DispatchTier>(t));
+            entry(tierName + "_mmacs_per_s", rate(r.tier[t].medianMs),
+                  "Mmac/s");
+            entry(tierName + "_mmacs_per_s_min", rate(r.tier[t].minMs),
+                  "Mmac/s");
+        }
+        // plan_* keeps the BENCH trajectory comparable across PRs:
+        // the plan path IS the specialized tier (the run() default).
+        entry("plan_mmacs_per_s", rate(r.tier[spec].medianMs),
+              "Mmac/s");
         entry("speedup", speedup, "x");
+        entry("speedup_switch",
+              r.tier[0].medianMs > 0
+                  ? r.legacy.medianMs / r.tier[0].medianMs
+                  : 0,
+              "x");
+        entry("speedup_threaded",
+              r.tier[1].medianMs > 0
+                  ? r.legacy.medianMs / r.tier[1].medianMs
+                  : 0,
+              "x");
         entry("plan_build_ms", r.planBuildMs, "ms");
-        entry("stats_parity", r.statsEqual ? 1 : 0, "bool");
+        entry("stats_parity", r.parity ? 1 : 0, "bool");
         // Marks which MAC regime ran: memoized product table vs the
         // exact >8-bit decomposition fallback (trend tooling must
         // not compare speedups across the two).
         entry("memoized", r.planMemoized ? 1 : 0, "bool");
+        // Whether the specialized tier bound a fused reduction nest.
+        entry("fused", r.planFused ? 1 : 0, "bool");
+    }
+
+    const ProductTableCacheStats cacheAfter = productTableCacheStats();
+    const std::uint64_t cacheBuilds =
+        cacheAfter.builds - cacheBefore.builds;
+    const std::uint64_t cacheHits = cacheAfter.hits - cacheBefore.hits;
+    if (cacheBuilds > 2 || cacheHits == 0) {
+        std::fprintf(stderr,
+                     "FAIL: product-table cache rebuilt (%llu builds, "
+                     "%llu hits across the workload set; expected at "
+                     "most 2 builds and nonzero hits)\n",
+                     static_cast<unsigned long long>(cacheBuilds),
+                     static_cast<unsigned long long>(cacheHits));
+        return 1;
     }
 
     if (!skipSweep) {
@@ -360,7 +482,8 @@ main(int argc, char **argv)
 
     if (!parityOk) {
         std::fprintf(stderr,
-                     "FAIL: plan/legacy InterpStats diverged\n");
+                     "FAIL: a dispatch tier diverged from the legacy "
+                     "walk (stats or memory)\n");
         return 1;
     }
     if (minSpeedup > 0 && smokeSpeedup < minSpeedup) {
@@ -368,6 +491,13 @@ main(int argc, char **argv)
                      "FAIL: alexnet_conv_8b speedup %.2fx below the "
                      "--min-speedup %.2fx gate\n",
                      smokeSpeedup, minSpeedup);
+        return 1;
+    }
+    if (minSpeedup16b > 0 && speedup16b < minSpeedup16b) {
+        std::fprintf(stderr,
+                     "FAIL: baseline_fc_16b speedup %.2fx below the "
+                     "--min-speedup-16b %.2fx gate\n",
+                     speedup16b, minSpeedup16b);
         return 1;
     }
     return 0;

@@ -1,0 +1,55 @@
+#include "src/isa/dispatch.h"
+
+#include <cstdlib>
+
+#include "src/common/logging.h"
+
+namespace bitfusion {
+
+const char *
+dispatchTierName(DispatchTier tier)
+{
+    switch (tier) {
+      case DispatchTier::Switch: return "switch";
+      case DispatchTier::Threaded: return "threaded";
+      case DispatchTier::Specialized: return "specialized";
+    }
+    return "unknown";
+}
+
+bool
+parseDispatchTier(const std::string &text, DispatchTier &out)
+{
+    if (text == "switch") {
+        out = DispatchTier::Switch;
+        return true;
+    }
+    if (text == "threaded") {
+        out = DispatchTier::Threaded;
+        return true;
+    }
+    if (text == "specialized") {
+        out = DispatchTier::Specialized;
+        return true;
+    }
+    return false;
+}
+
+DispatchTier
+defaultDispatchTier()
+{
+    static const DispatchTier tier = [] {
+        const char *env = std::getenv("BITFUSION_DISPATCH");
+        if (env == nullptr || *env == '\0')
+            return DispatchTier::Specialized;
+        DispatchTier parsed;
+        if (!parseDispatchTier(env, parsed))
+            BF_FATAL("BITFUSION_DISPATCH='", env,
+                     "' is not a dispatch tier (expected switch, "
+                     "threaded, or specialized)");
+        return parsed;
+    }();
+    return tier;
+}
+
+} // namespace bitfusion

@@ -11,11 +11,31 @@
 #include "src/common/bitutils.h"
 #include "src/common/logging.h"
 
+// Threaded-code dispatch wants the GCC/Clang labels-as-values
+// extension (&&label dispatch tables). Other compilers -- or a build
+// with BITFUSION_NO_COMPUTED_GOTO defined -- run the Threaded tier
+// on the portable switch loop instead; parity is unaffected, only
+// dispatch cost.
+#if defined(__GNUC__) && !defined(BITFUSION_NO_COMPUTED_GOTO)
+#define BITFUSION_HAVE_COMPUTED_GOTO 1
+#endif
+
 namespace bitfusion {
 
 // ------------------------------------------------------- product table
 
 namespace {
+
+/** Representable operand ranges for @p cfg. */
+void
+operandRanges(const FusionConfig &cfg, std::int64_t &aMin,
+              std::int64_t &aMax, std::int64_t &wMin, std::int64_t &wMax)
+{
+    aMin = cfg.aSigned ? signedMin(cfg.aBits) : 0;
+    aMax = cfg.aSigned ? signedMax(cfg.aBits) : unsignedMax(cfg.aBits);
+    wMin = cfg.wSigned ? signedMin(cfg.wBits) : 0;
+    wMax = cfg.wSigned ? signedMax(cfg.wBits) : unsignedMax(cfg.wBits);
+}
 
 ProductTable
 buildProductTable(const FusionConfig &cfg)
@@ -23,10 +43,17 @@ buildProductTable(const FusionConfig &cfg)
     ProductTable t;
     t.aBits = cfg.aBits;
     t.wBits = cfg.wBits;
-    t.aMin = cfg.aSigned ? signedMin(cfg.aBits) : 0;
-    t.aMax = cfg.aSigned ? signedMax(cfg.aBits) : unsignedMax(cfg.aBits);
-    t.wMin = cfg.wSigned ? signedMin(cfg.wBits) : 0;
-    t.wMax = cfg.wSigned ? signedMax(cfg.wBits) : unsignedMax(cfg.wBits);
+    operandRanges(cfg, t.aMin, t.aMax, t.wMin, t.wMax);
+    // The decomposition size is value-independent (one BitBrick op
+    // per digit pair); one exact call pins it.
+    t.opsPerMac = decomposeMultiply(0, 0, cfg).size();
+    // The table entries are native products: the BitBrick
+    // decomposition is an exact multiply for every representable
+    // operand pair, an equality tests/test_interp_plan.cc re-derives
+    // exhaustively against decomposeMultiply for each paper config.
+    // Filling with a*w instead of 2^(aBits+wBits) decomposition
+    // evaluations cuts the one-time 8x8 build from ~15 ms to
+    // microseconds (the BENCH_7 plan_build_ms satellite).
     const std::uint64_t aSpan = 1ULL << cfg.aBits;
     const std::uint64_t wSpan = 1ULL << cfg.wBits;
     t.products.resize(aSpan * wSpan, 0);
@@ -38,15 +65,24 @@ buildProductTable(const FusionConfig &cfg)
             const std::int64_t w =
                 cfg.wSigned ? signExtend(rw, cfg.wBits)
                             : static_cast<std::int64_t>(rw);
-            const auto ops = decomposeMultiply(a, w, cfg);
-            t.products[(ra << cfg.wBits) | rw] =
-                evaluateDecomposition(ops);
-            // The decomposition size is value-independent (one op per
-            // digit pair); record it once.
-            t.opsPerMac = ops.size();
+            t.products[(ra << cfg.wBits) | rw] = a * w;
         }
     }
     return t;
+}
+
+std::mutex &
+tableMutex()
+{
+    static std::mutex mutex;
+    return mutex;
+}
+
+ProductTableCacheStats &
+tableStats()
+{
+    static ProductTableCacheStats stats;
+    return stats;
 }
 
 } // namespace
@@ -59,15 +95,25 @@ productTableFor(const FusionConfig &cfg)
         return nullptr;
 
     using Key = std::tuple<unsigned, unsigned, bool, bool>;
-    static std::mutex mutex;
     static std::map<Key, std::unique_ptr<ProductTable>> tables;
 
     const Key key{cfg.aBits, cfg.wBits, cfg.aSigned, cfg.wSigned};
-    std::lock_guard<std::mutex> lock(mutex);
+    std::lock_guard<std::mutex> lock(tableMutex());
     auto &slot = tables[key];
-    if (!slot)
+    if (!slot) {
         slot = std::make_unique<ProductTable>(buildProductTable(cfg));
+        ++tableStats().builds;
+    } else {
+        ++tableStats().hits;
+    }
     return slot.get();
+}
+
+ProductTableCacheStats
+productTableCacheStats()
+{
+    std::lock_guard<std::mutex> lock(tableMutex());
+    return tableStats();
 }
 
 // ------------------------------------------------------------ lowering
@@ -133,7 +179,16 @@ ExecPlan::build(const InstructionBlock &block)
         }
     }
     const unsigned depth = static_cast<unsigned>(plan->iters_.size());
-    plan->levels_.assign(depth + 1, Level{});
+
+    // Pre/post body spans per nest level: levels[l] runs inside
+    // loops 0..l-1 (levels[0] is the block prologue/epilogue). This
+    // is a build-time view; the plan stores the linearized program.
+    struct Level
+    {
+        std::vector<CodeOp> pre;
+        std::vector<CodeOp> post;
+    };
+    std::vector<Level> levels(depth + 1);
 
     for (const Instruction &inst : block.instructions) {
         switch (inst.op) {
@@ -159,9 +214,9 @@ ExecPlan::build(const InstructionBlock &block)
           }
           default: {
             const unsigned level = inst.id;
-            BF_ASSERT(level < plan->levels_.size(),
+            BF_ASSERT(level < levels.size(),
                       "body level out of range in ", block.name);
-            Op op;
+            CodeOp op{};
             switch (inst.op) {
               case Opcode::LdMem:
                 op.kind = OpKind::LdMem;
@@ -216,9 +271,9 @@ ExecPlan::build(const InstructionBlock &block)
                 BF_PANIC("unexpected opcode in block body");
             }
             if (inst.isPost())
-                plan->levels_[level].post.push_back(op);
+                levels[level].post.push_back(op);
             else
-                plan->levels_[level].pre.push_back(op);
+                levels[level].pre.push_back(op);
             break;
           }
         }
@@ -235,9 +290,9 @@ ExecPlan::build(const InstructionBlock &block)
     // row bound of 2-D transfers is the largest set-rows immediate
     // (conservative when a smaller set-rows reaches a transfer, which
     // only over-allocates; the dynamic bufHighWater stat stays exact).
-    for (const Level &level : plan->levels_) {
+    for (const Level &level : levels) {
         for (const auto *span : {&level.pre, &level.post}) {
-            for (const Op &op : *span) {
+            for (const CodeOp &op : *span) {
                 if (op.kind == OpKind::LdMem ||
                     op.kind == OpKind::StMem) {
                     const AddrExpr &fill =
@@ -268,6 +323,165 @@ ExecPlan::build(const InstructionBlock &block)
             }
         }
     }
+
+    // ------------------------------------------ fused-nest recognition
+    //
+    // The compiler's MAC reduction is an innermost body of exactly
+    // {RdBuf(Ibuf), RdBuf(Wbuf)} (either order) followed by Mac,
+    // wrapped in loops whose intermediate levels carry no other ops.
+    // That whole sub-nest collapses into one FusedMac op bound to a
+    // per-config kernel. Fusion is vetoed when anything outside the
+    // nest touches the operand buffers' counters or scratchpads in a
+    // way the kernel would not reproduce:
+    //  - another RdBuf/WrBuf on Ibuf/Wbuf outside the fused body
+    //    (their addresses share the fused access expressions);
+    //  - any other address expression referencing a fused loop (the
+    //    fused program never advances those counters).
+    const unsigned IBv = static_cast<unsigned>(BufferId::Ibuf);
+    const unsigned WBv = static_cast<unsigned>(BufferId::Wbuf);
+    const unsigned ACCv = static_cast<unsigned>(AddrSpace::BufAccess);
+    if (depth > 0) {
+        std::vector<CodeOp> body = levels[depth].pre;
+        body.insert(body.end(), levels[depth].post.begin(),
+                    levels[depth].post.end());
+        const bool shape =
+            body.size() == 3 && body[0].kind == OpKind::RdBuf &&
+            body[1].kind == OpKind::RdBuf &&
+            body[2].kind == OpKind::Mac &&
+            ((body[0].buf == IBv && body[1].buf == WBv) ||
+             (body[0].buf == WBv && body[1].buf == IBv));
+        if (shape) {
+            unsigned g = depth - 1;
+            while (g > 0 && levels[g].pre.empty() &&
+                   levels[g].post.empty())
+                --g;
+            if (depth - g > kMaxFusedDims)
+                g = depth - kMaxFusedDims;
+
+            bool ok = true;
+            for (unsigned b = 0; b < 3 && ok; ++b) {
+                for (unsigned s = 0; s < 3 && ok; ++s) {
+                    if (s == ACCv && (b == IBv || b == WBv))
+                        continue;
+                    for (const AddrTerm &t : plan->exprs_[b][s].terms)
+                        if (t.depth >= g)
+                            ok = false;
+                }
+            }
+            for (unsigned l = 0; l < depth && ok; ++l) {
+                for (const auto *span : {&levels[l].pre,
+                                         &levels[l].post}) {
+                    for (const CodeOp &op : *span) {
+                        if ((op.kind == OpKind::RdBuf ||
+                             op.kind == OpKind::WrBuf) &&
+                            (op.buf == IBv || op.buf == WBv))
+                            ok = false;
+                    }
+                }
+            }
+
+            if (ok) {
+                FusedNest &f = plan->fused_;
+                f.firstLoop = g;
+                f.dims = depth - g;
+                std::int64_t aMin, aMax, wMin, wMax;
+                operandRanges(block.config, aMin, aMax, wMin, wMax);
+                f.proto.dims = f.dims;
+                f.proto.aMin = aMin;
+                f.proto.aMax = aMax;
+                f.proto.wMin = wMin;
+                f.proto.wMax = wMax;
+                const AddrExpr &aAcc = plan->exprs_[IBv][ACCv];
+                const AddrExpr &wAcc = plan->exprs_[WBv][ACCv];
+                f.aOuter.base = aAcc.base;
+                for (const AddrTerm &t : aAcc.terms) {
+                    if (t.depth >= g)
+                        f.proto.aStride[t.depth - g] += t.stride;
+                    else
+                        f.aOuter.terms.push_back(t);
+                }
+                f.wOuter.base = wAcc.base;
+                for (const AddrTerm &t : wAcc.terms) {
+                    if (t.depth >= g)
+                        f.proto.wStride[t.depth - g] += t.stride;
+                    else
+                        f.wOuter.terms.push_back(t);
+                }
+                f.total = 1;
+                for (unsigned d = 0; d < f.dims; ++d) {
+                    const std::uint64_t it = plan->iters_[g + d];
+                    f.proto.iters[d] = it;
+                    f.total *= it;
+                    if (it > 0) {
+                        f.lastOffA += (it - 1) * f.proto.aStride[d];
+                        f.lastOffW += (it - 1) * f.proto.wStride[d];
+                    }
+                }
+                f.kernel = selectMacNestKernel(block.config);
+                f.opsPerMac =
+                    plan->memo_
+                        ? plan->memo_->opsPerMac
+                        : decomposeMultiply(0, 0, block.config).size();
+                plan->kernelName_ =
+                    "mac" + std::to_string(block.config.aBits) +
+                    (block.config.aSigned ? "s" : "u") + "." +
+                    std::to_string(block.config.wBits) +
+                    (block.config.wSigned ? "s" : "u");
+            }
+        }
+    }
+
+    // ------------------------------------------- program linearization
+    //
+    // The nest becomes a flat instruction stream: LoopHead resets the
+    // counter and skips a zero-trip loop; LoopBack jumps to the loop
+    // top while iterations remain. The fused program replaces loops
+    // [firstLoop, depth) and the body with one FusedMac op (or
+    // nothing, when the static trip count is zero -- the reference
+    // walk would never reach the body either).
+    auto emitProgram = [&](bool withFusion) {
+        std::vector<CodeOp> code;
+        auto emitSpan = [&code](const std::vector<CodeOp> &span) {
+            code.insert(code.end(), span.begin(), span.end());
+        };
+        const unsigned cut = (withFusion && plan->fused_.dims > 0)
+                                 ? plan->fused_.firstLoop
+                                 : depth;
+        emitSpan(levels[0].pre);
+        std::vector<std::size_t> heads;
+        for (unsigned d = 0; d < cut; ++d) {
+            heads.push_back(code.size());
+            CodeOp head{};
+            head.kind = OpKind::LoopHead;
+            head.loop = static_cast<std::uint16_t>(d);
+            code.push_back(head);
+            emitSpan(levels[d + 1].pre);
+        }
+        if (cut < depth && plan->fused_.total > 0) {
+            CodeOp f{};
+            f.kind = OpKind::FusedMac;
+            code.push_back(f);
+        }
+        for (unsigned d = cut; d-- > 0;) {
+            emitSpan(levels[d + 1].post);
+            CodeOp back{};
+            back.kind = OpKind::LoopBack;
+            back.loop = static_cast<std::uint16_t>(d);
+            back.target = static_cast<std::uint32_t>(heads[d] + 1);
+            code.push_back(back);
+            code[heads[d]].target =
+                static_cast<std::uint32_t>(code.size());
+        }
+        emitSpan(levels[0].post);
+        CodeOp halt{};
+        halt.kind = OpKind::Halt;
+        code.push_back(halt);
+        return code;
+    };
+    plan->code_ = emitProgram(false);
+    if (plan->fused_.dims > 0)
+        plan->fusedCode_ = emitProgram(true);
+
     return plan;
 }
 
@@ -278,13 +492,13 @@ struct ExecPlan::Runtime
     MemoryModel &memory;
     InterpStats &stats;
     std::array<std::vector<std::int64_t>, 3> &buffers;
-    const std::uint64_t *pos;
+    std::uint64_t *pos;
     std::uint64_t pendingRows = 1;
     std::int64_t regIn = 0, regWgt = 0, regOut = 0;
 };
 
 void
-ExecPlan::transfer(const Op &op, bool to_buffer, Runtime &rt) const
+ExecPlan::transfer(const CodeOp &op, bool to_buffer, Runtime &rt) const
 {
     const unsigned b = op.buf;
     const std::uint64_t words = op.imm;
@@ -349,98 +563,241 @@ ExecPlan::transfer(const Op &op, bool to_buffer, Runtime &rt) const
         rt.stats.dramStoreElems[b] += rows * words;
 }
 
-void
-ExecPlan::execSpan(const std::vector<Op> &ops, Runtime &rt) const
+inline void
+ExecPlan::doRdBuf(const CodeOp &op, Runtime &rt) const
 {
-    for (const Op &op : ops) {
-        switch (op.kind) {
-          case OpKind::LdMem:
-            transfer(op, true, rt);
-            break;
-          case OpKind::StMem:
-            transfer(op, false, rt);
-            break;
-          case OpKind::SetRows:
-            rt.pendingRows = op.imm;
-            break;
-          case OpKind::RdBuf: {
-            const AddrExpr &e =
-                exprs_[op.buf][static_cast<unsigned>(
-                    AddrSpace::BufAccess)];
-            std::uint64_t addr = e.base;
-            for (const AddrTerm &t : e.terms)
-                addr += rt.pos[t.depth] * t.stride;
-            const auto &store = rt.buffers[op.buf];
-            BF_ASSERT(addr < store.size(),
-                      "rd-buf beyond planned size");
-            const std::int64_t v = store[addr];
-            switch (static_cast<BufferId>(op.buf)) {
-              case BufferId::Ibuf: rt.regIn = v; break;
-              case BufferId::Wbuf: rt.regWgt = v; break;
-              case BufferId::Obuf: rt.regOut = v; break;
-            }
-            ++rt.stats.bufReads[op.buf];
-            break;
-          }
-          case OpKind::WrBuf: {
-            const AddrExpr &e =
-                exprs_[op.buf][static_cast<unsigned>(
-                    AddrSpace::BufAccess)];
-            std::uint64_t addr = e.base;
-            for (const AddrTerm &t : e.terms)
-                addr += rt.pos[t.depth] * t.stride;
-            auto &store = rt.buffers[op.buf];
-            BF_ASSERT(addr < store.size(),
-                      "wr-buf beyond planned size");
-            store[addr] = rt.regOut;
-            rt.stats.bufHighWater[op.buf] = std::max<std::uint64_t>(
-                rt.stats.bufHighWater[op.buf], addr + 1);
-            ++rt.stats.bufWrites[op.buf];
-            break;
-          }
-          case OpKind::Mac:
-            if (memo_) {
-                BF_ASSERT(rt.regIn >= memo_->aMin &&
-                          rt.regIn <= memo_->aMax,
-                          "activation ", rt.regIn,
-                          " not representable in ", memo_->aBits, "b");
-                BF_ASSERT(rt.regWgt >= memo_->wMin &&
-                          rt.regWgt <= memo_->wMax,
-                          "weight ", rt.regWgt,
-                          " not representable in ", memo_->wBits, "b");
-                const std::uint64_t idx =
-                    ((static_cast<std::uint64_t>(rt.regIn) &
-                      lowMask(memo_->aBits))
-                     << memo_->wBits) |
-                    (static_cast<std::uint64_t>(rt.regWgt) &
-                     lowMask(memo_->wBits));
-                rt.regOut += memo_->products[idx];
-                ++rt.stats.macs;
-                rt.stats.bitBrickOps += memo_->opsPerMac;
-            } else {
-                const auto ops_vec =
-                    decomposeMultiply(rt.regIn, rt.regWgt, config_);
-                rt.regOut += evaluateDecomposition(ops_vec);
-                ++rt.stats.macs;
-                rt.stats.bitBrickOps += ops_vec.size();
-            }
-            break;
-          case OpKind::MaxOp:
-            rt.regOut = std::max(rt.regOut, rt.regIn);
-            ++rt.stats.auxOps;
-            break;
-          case OpKind::ReluQuant: {
-            std::int64_t v =
-                std::max<std::int64_t>(rt.regIn, 0) >> op.shift;
-            rt.regOut = op.outBits ? clampUnsigned(v, op.outBits) : v;
-            ++rt.stats.auxOps;
-            break;
-          }
-          case OpKind::Reset:
-            rt.regOut = std::numeric_limits<std::int64_t>::min();
-            break;
-        }
+    const AddrExpr &e =
+        exprs_[op.buf][static_cast<unsigned>(AddrSpace::BufAccess)];
+    std::uint64_t addr = e.base;
+    for (const AddrTerm &t : e.terms)
+        addr += rt.pos[t.depth] * t.stride;
+    const auto &store = rt.buffers[op.buf];
+    BF_ASSERT(addr < store.size(), "rd-buf beyond planned size");
+    const std::int64_t v = store[addr];
+    switch (static_cast<BufferId>(op.buf)) {
+      case BufferId::Ibuf: rt.regIn = v; break;
+      case BufferId::Wbuf: rt.regWgt = v; break;
+      case BufferId::Obuf: rt.regOut = v; break;
     }
+    ++rt.stats.bufReads[op.buf];
+}
+
+inline void
+ExecPlan::doWrBuf(const CodeOp &op, Runtime &rt) const
+{
+    const AddrExpr &e =
+        exprs_[op.buf][static_cast<unsigned>(AddrSpace::BufAccess)];
+    std::uint64_t addr = e.base;
+    for (const AddrTerm &t : e.terms)
+        addr += rt.pos[t.depth] * t.stride;
+    auto &store = rt.buffers[op.buf];
+    BF_ASSERT(addr < store.size(), "wr-buf beyond planned size");
+    store[addr] = rt.regOut;
+    rt.stats.bufHighWater[op.buf] = std::max<std::uint64_t>(
+        rt.stats.bufHighWater[op.buf], addr + 1);
+    ++rt.stats.bufWrites[op.buf];
+}
+
+inline void
+ExecPlan::doMac(Runtime &rt) const
+{
+    if (memo_) {
+        BF_ASSERT(rt.regIn >= memo_->aMin && rt.regIn <= memo_->aMax,
+                  "activation ", rt.regIn, " not representable in ",
+                  memo_->aBits, "b");
+        BF_ASSERT(rt.regWgt >= memo_->wMin && rt.regWgt <= memo_->wMax,
+                  "weight ", rt.regWgt, " not representable in ",
+                  memo_->wBits, "b");
+        const std::uint64_t idx =
+            ((static_cast<std::uint64_t>(rt.regIn) &
+              lowMask(memo_->aBits))
+             << memo_->wBits) |
+            (static_cast<std::uint64_t>(rt.regWgt) &
+             lowMask(memo_->wBits));
+        rt.regOut += memo_->products[idx];
+        ++rt.stats.macs;
+        rt.stats.bitBrickOps += memo_->opsPerMac;
+    } else {
+        const auto ops_vec =
+            decomposeMultiply(rt.regIn, rt.regWgt, config_);
+        rt.regOut += evaluateDecomposition(ops_vec);
+        ++rt.stats.macs;
+        rt.stats.bitBrickOps += ops_vec.size();
+    }
+}
+
+inline void
+ExecPlan::doMax(Runtime &rt) const
+{
+    rt.regOut = std::max(rt.regOut, rt.regIn);
+    ++rt.stats.auxOps;
+}
+
+inline void
+ExecPlan::doReluQuant(const CodeOp &op, Runtime &rt) const
+{
+    const std::int64_t v =
+        std::max<std::int64_t>(rt.regIn, 0) >> op.shift;
+    rt.regOut = op.outBits ? clampUnsigned(v, op.outBits) : v;
+    ++rt.stats.auxOps;
+}
+
+inline void
+ExecPlan::doReset(Runtime &rt) const
+{
+    rt.regOut = std::numeric_limits<std::int64_t>::min();
+}
+
+inline void
+ExecPlan::doFusedMac(Runtime &rt) const
+{
+    const FusedNest &f = fused_;
+    std::uint64_t aBase = f.aOuter.base;
+    for (const AddrTerm &t : f.aOuter.terms)
+        aBase += rt.pos[t.depth] * t.stride;
+    std::uint64_t wBase = f.wOuter.base;
+    for (const AddrTerm &t : f.wOuter.terms)
+        wBase += rt.pos[t.depth] * t.stride;
+
+    const unsigned ib = static_cast<unsigned>(BufferId::Ibuf);
+    const unsigned wb = static_cast<unsigned>(BufferId::Wbuf);
+    const auto &ibuf = rt.buffers[ib];
+    const auto &wbuf = rt.buffers[wb];
+    // One bounds check per operand per dispatch instead of one per
+    // element (addresses are monotone in the fused counters).
+    BF_ASSERT(aBase + f.lastOffA < ibuf.size(),
+              "rd-buf beyond planned size");
+    BF_ASSERT(wBase + f.lastOffW < wbuf.size(),
+              "rd-buf beyond planned size");
+
+    MacNestArgs args = f.proto;
+    args.a = ibuf.data() + aBase;
+    args.w = wbuf.data() + wBase;
+    std::uint64_t bad = 0;
+    const std::uint64_t acc = f.kernel(args, bad);
+    if (bad != 0)
+        reportUnrepresentable(args, config_); // [[noreturn]]
+
+    // Same observable end-state as per-element execution: the operand
+    // registers hold the last elements read, and the accumulator adds
+    // the (wraparound-exact) product sum.
+    rt.regIn = args.a[f.lastOffA];
+    rt.regWgt = args.w[f.lastOffW];
+    rt.regOut = static_cast<std::int64_t>(
+        static_cast<std::uint64_t>(rt.regOut) + acc);
+    rt.stats.bufReads[ib] += f.total;
+    rt.stats.bufReads[wb] += f.total;
+    rt.stats.macs += f.total;
+    rt.stats.bitBrickOps += f.total * f.opsPerMac;
+}
+
+void
+ExecPlan::runSwitch(const std::vector<CodeOp> &code, Runtime &rt) const
+{
+    std::size_t pc = 0;
+    for (;;) {
+        const CodeOp &op = code[pc];
+        switch (op.kind) {
+          case OpKind::LdMem: transfer(op, true, rt); break;
+          case OpKind::StMem: transfer(op, false, rt); break;
+          case OpKind::SetRows: rt.pendingRows = op.imm; break;
+          case OpKind::RdBuf: doRdBuf(op, rt); break;
+          case OpKind::WrBuf: doWrBuf(op, rt); break;
+          case OpKind::Mac: doMac(rt); break;
+          case OpKind::MaxOp: doMax(rt); break;
+          case OpKind::ReluQuant: doReluQuant(op, rt); break;
+          case OpKind::Reset: doReset(rt); break;
+          case OpKind::LoopHead:
+            rt.pos[op.loop] = 0;
+            if (iters_[op.loop] == 0) {
+                pc = op.target;
+                continue;
+            }
+            break;
+          case OpKind::LoopBack:
+            if (++rt.pos[op.loop] < iters_[op.loop]) {
+                pc = op.target;
+                continue;
+            }
+            break;
+          case OpKind::FusedMac: doFusedMac(rt); break;
+          case OpKind::Halt: return;
+        }
+        ++pc;
+    }
+}
+
+void
+ExecPlan::runThreaded(const std::vector<CodeOp> &code, Runtime &rt) const
+{
+#if defined(BITFUSION_HAVE_COMPUTED_GOTO)
+    // One indirect jump per op, from the op's own handler -- the
+    // classic threaded-code layout: the branch predictor sees one
+    // distinct jump site per opcode instead of a single shared
+    // switch dispatch point.
+    static const void *const kLabels[kOpKindCount] = {
+        &&lLdMem,     &&lStMem,    &&lSetRows, &&lRdBuf, &&lWrBuf,
+        &&lMac,       &&lMaxOp,    &&lReluQuant, &&lReset,
+        &&lLoopHead,  &&lLoopBack, &&lFusedMac, &&lHalt,
+    };
+    const CodeOp *const base = code.data();
+    const CodeOp *ip = base;
+#define BF_DISPATCH() goto *kLabels[static_cast<unsigned>(ip->kind)]
+    BF_DISPATCH();
+lLdMem:
+    transfer(*ip, true, rt);
+    ++ip;
+    BF_DISPATCH();
+lStMem:
+    transfer(*ip, false, rt);
+    ++ip;
+    BF_DISPATCH();
+lSetRows:
+    rt.pendingRows = ip->imm;
+    ++ip;
+    BF_DISPATCH();
+lRdBuf:
+    doRdBuf(*ip, rt);
+    ++ip;
+    BF_DISPATCH();
+lWrBuf:
+    doWrBuf(*ip, rt);
+    ++ip;
+    BF_DISPATCH();
+lMac:
+    doMac(rt);
+    ++ip;
+    BF_DISPATCH();
+lMaxOp:
+    doMax(rt);
+    ++ip;
+    BF_DISPATCH();
+lReluQuant:
+    doReluQuant(*ip, rt);
+    ++ip;
+    BF_DISPATCH();
+lReset:
+    doReset(rt);
+    ++ip;
+    BF_DISPATCH();
+lLoopHead:
+    rt.pos[ip->loop] = 0;
+    ip = (iters_[ip->loop] == 0) ? base + ip->target : ip + 1;
+    BF_DISPATCH();
+lLoopBack:
+    ip = (++rt.pos[ip->loop] < iters_[ip->loop]) ? base + ip->target
+                                                 : ip + 1;
+    BF_DISPATCH();
+lFusedMac:
+    doFusedMac(rt);
+    ++ip;
+    BF_DISPATCH();
+lHalt:
+    return;
+#undef BF_DISPATCH
+#else
+    runSwitch(code, rt);
+#endif
 }
 
 void
@@ -448,39 +805,28 @@ ExecPlan::execute(MemoryModel &memory, InterpStats &stats,
                   std::array<std::vector<std::int64_t>, 3> &buffers)
     const
 {
+    execute(memory, stats, buffers, defaultDispatchTier());
+}
+
+void
+ExecPlan::execute(MemoryModel &memory, InterpStats &stats,
+                  std::array<std::vector<std::int64_t>, 3> &buffers,
+                  DispatchTier tier) const
+{
     for (unsigned b = 0; b < 3; ++b)
         buffers[b].assign(bufSize_[b], 0);
 
-    const unsigned depth = this->depth();
-    std::vector<std::uint64_t> pos(depth, 0);
+    std::vector<std::uint64_t> pos(depth(), 0);
     Runtime rt{memory, stats, buffers, pos.data()};
 
-    // Iterative nest walk over the per-level spans: level L's pre
-    // span runs on entry, its post span after the loops below it
-    // finish -- exactly the reference walk's recursion, flattened.
-    execSpan(levels_[0].pre, rt);
-    unsigned lv = 0; // number of loops currently entered
-    while (true) {
-        while (lv < depth && iters_[lv] > 0) {
-            pos[lv] = 0;
-            execSpan(levels_[lv + 1].pre, rt);
-            ++lv;
-        }
-        execSpan(levels_[lv].post, rt);
-        bool done = true;
-        while (lv > 0) {
-            --lv;
-            if (++pos[lv] < iters_[lv]) {
-                execSpan(levels_[lv + 1].pre, rt);
-                ++lv;
-                done = false;
-                break;
-            }
-            execSpan(levels_[lv].post, rt);
-        }
-        if (done)
-            return;
-    }
+    const std::vector<CodeOp> &code =
+        (tier == DispatchTier::Specialized && !fusedCode_.empty())
+            ? fusedCode_
+            : code_;
+    if (tier == DispatchTier::Switch)
+        runSwitch(code, rt);
+    else
+        runThreaded(code, rt);
 }
 
 } // namespace bitfusion

@@ -6,21 +6,29 @@
  * everything per element: a recursive descent over the loop nest, a
  * std::map lookup per address term, a fresh BitBrick decomposition per
  * MAC, and resize churn on every transfer. An ExecPlan lowers a block
- * ONCE into a flat loop program and executes it many times:
+ * ONCE into a flat threaded-code program and executes it many times:
  *
- *  - the loop nest becomes per-level instruction spans driven by an
- *    iterative walk (no recursion, no per-iteration map updates);
+ *  - the loop nest becomes a linear instruction stream with explicit
+ *    LoopHead/LoopBack jumps, driven either by a portable switch loop
+ *    or by computed-goto threaded dispatch (DispatchTier, see
+ *    src/isa/dispatch.h);
  *  - every gen-addr expression is resolved to (loop depth, stride)
  *    terms evaluated against a dense iteration-counter array;
+ *  - the compiler's innermost RdBuf/RdBuf/Mac reduction nest is
+ *    recognized at lowering time and bound to a per-(aBits, wBits,
+ *    signedness) template-specialized SIMD kernel
+ *    (src/isa/exec_kernels.h) that executes the whole nest per
+ *    dispatch -- including the 16-bit and mixed-width configs the
+ *    memo table cannot cover;
  *  - scratchpad sizes come from a static high-water analysis, so the
  *    hot loop never calls resize;
  *  - ld-mem / st-mem move whole rows through MemoryModel spans (one
  *    bounds check per row instead of per element);
- *  - for operand pairs of at most 8x8 bits the BitBrick products are
- *    memoized in a per-config table built from the exact
- *    decomposeMultiply path, so results AND the bitBrickOps / macs
- *    counters stay bit-identical to the reference walk (wider
- *    operands fall back to the exact decomposition).
+ *  - for operand pairs of at most 8x8 bits the unfused MAC op reads a
+ *    process-cached per-config product table whose entries equal the
+ *    exact decomposeMultiply path (pinned exhaustively by
+ *    tests/test_interp_plan.cc), so results AND the bitBrickOps /
+ *    macs counters stay bit-identical to the reference walk.
  *
  * Plans are immutable after build() and safe to execute concurrently;
  * all run state lives on the caller's stack. The process-level
@@ -39,6 +47,8 @@
 
 #include "src/arch/fusion_config.h"
 #include "src/isa/block.h"
+#include "src/isa/dispatch.h"
+#include "src/isa/exec_kernels.h"
 #include "src/isa/interpreter.h"
 #include "src/isa/memory.h"
 
@@ -47,9 +57,12 @@ namespace bitfusion {
 /**
  * Memoized BitBrick products for one fusion configuration with both
  * operands at most 8 bits wide. products[(rawA << wBits) | rawW] is
- * exactly evaluateDecomposition(decomposeMultiply(a, w, cfg)), and
- * opsPerMac is the (value-independent) decomposition size, so the
- * memoized MAC path reproduces the reference walk bit-for-bit.
+ * exactly evaluateDecomposition(decomposeMultiply(a, w, cfg)) -- the
+ * decomposition is an exact multiply for representable operands, so
+ * the table is filled with native products and the equality is pinned
+ * exhaustively by tests/test_interp_plan.cc -- and opsPerMac is the
+ * (value-independent) decomposition size, so the memoized MAC path
+ * reproduces the reference walk bit-for-bit.
  */
 struct ProductTable
 {
@@ -64,10 +77,23 @@ struct ProductTable
 };
 
 /**
- * Process-level memo table for @p cfg, built on first use; nullptr
- * when either operand exceeds 8 bits (the table would not fit).
+ * Process-level memo table for @p cfg, built on first use and shared
+ * by every plan with that config; nullptr when either operand
+ * exceeds 8 bits (the table would not fit).
  */
 const ProductTable *productTableFor(const FusionConfig &cfg);
+
+/** Process-level product-table cache traffic (monotonic). */
+struct ProductTableCacheStats
+{
+    /** Tables built (one per distinct memoizable config, ever). */
+    std::uint64_t builds = 0;
+    /** Lookups served from an already-built table. */
+    std::uint64_t hits = 0;
+};
+
+/** Snapshot of the product-table cache counters. */
+ProductTableCacheStats productTableCacheStats();
 
 /** One lowered, recursion-free Fusion-ISA block. See file docs. */
 class ExecPlan
@@ -85,13 +111,19 @@ class ExecPlan
     static std::string blockKey(const InstructionBlock &block);
 
     /**
-     * Execute the plan. @p buffers are the interpreter's scratchpads:
-     * resized once to the static high-water sizes and zero-filled, so
-     * the hot loop never reallocates. Stats accumulate into @p stats
-     * exactly as the reference walk would.
+     * Execute the plan on the process-default dispatch tier.
+     * @p buffers are the interpreter's scratchpads: resized once to
+     * the static high-water sizes and zero-filled, so the hot loop
+     * never reallocates. Stats accumulate into @p stats exactly as
+     * the reference walk would.
      */
     void execute(MemoryModel &memory, InterpStats &stats,
                  std::array<std::vector<std::int64_t>, 3> &buffers) const;
+
+    /** Execute on an explicit dispatch tier (parity tests, benches). */
+    void execute(MemoryModel &memory, InterpStats &stats,
+                 std::array<std::vector<std::int64_t>, 3> &buffers,
+                 DispatchTier tier) const;
 
     /** Static per-buffer size (elements) the plan executes within. */
     const std::array<std::uint64_t, 3> &
@@ -111,8 +143,21 @@ class ExecPlan
     /** Nest depth (number of loops). */
     unsigned depth() const { return static_cast<unsigned>(iters_.size()); }
 
-    /** True when the MAC path runs on the memoized product table. */
+    /** True when the unfused MAC path runs on the product table. */
     bool memoized() const { return memo_ != nullptr; }
+
+    /**
+     * True when the Specialized tier binds the innermost reduction
+     * nest to a fused kernel (the Switch/Threaded tiers always run
+     * the per-op program).
+     */
+    bool fused() const { return fused_.dims > 0; }
+
+    /** Loop dimensions the fused kernel covers (0 when unfused). */
+    unsigned fusedDims() const { return fused_.dims; }
+
+    /** Fused-kernel identifier like "mac8u.8s" ("" when unfused). */
+    const std::string &kernelName() const { return kernelName_; }
 
   private:
     ExecPlan() = default;
@@ -134,10 +179,10 @@ class ExecPlan
         std::vector<AddrTerm> terms;
     };
 
-    /** Lowered body operation. */
+    /** Lowered program operation. */
     enum class OpKind : std::uint8_t
     {
-        LdMem,
+        LdMem = 0,
         StMem,
         SetRows,
         RdBuf,
@@ -146,12 +191,27 @@ class ExecPlan
         MaxOp,
         ReluQuant,
         Reset,
+        /** Loop entry: reset the counter; jump past LoopBack when the
+         *  trip count is zero. */
+        LoopHead,
+        /** Loop latch: bump the counter; jump to the loop top while
+         *  iterations remain. */
+        LoopBack,
+        /** The fused reduction nest (Specialized program only). */
+        FusedMac,
+        /** End of program. */
+        Halt,
     };
+    static constexpr unsigned kOpKindCount = 13;
 
-    struct Op
+    struct CodeOp
     {
         OpKind kind;
         std::uint8_t buf = 0;
+        /** Loop depth (LoopHead/LoopBack). */
+        std::uint16_t loop = 0;
+        /** Jump target (LoopHead: past the latch; LoopBack: top). */
+        std::uint32_t target = 0;
         /** Words per row (transfers) or row count (set-rows). */
         std::uint64_t imm = 0;
         /** Relu-quant requantization shift. */
@@ -162,23 +222,49 @@ class ExecPlan
         bool activate = false;
     };
 
-    /** Pre/post instruction spans of one nest level. */
-    struct Level
+    /** The fused reduction nest: everything static precomputed. */
+    struct FusedNest
     {
-        std::vector<Op> pre;
-        std::vector<Op> post;
+        /** Loops [firstLoop, depth) the kernel covers; dims == 0
+         *  means no nest was recognized. */
+        unsigned firstLoop = 0;
+        unsigned dims = 0;
+        /** Total MACs per dispatch (0 skips the op entirely). */
+        std::uint64_t total = 0;
+        /** bitBrickOps per MAC (value-independent). */
+        std::uint64_t opsPerMac = 0;
+        /** Offset of the last element read per operand side. */
+        std::uint64_t lastOffA = 0, lastOffW = 0;
+        /** Outer-loop parts of the operand access expressions. */
+        AddrExpr aOuter, wOuter;
+        /** Iteration-space prototype (pointers patched per call). */
+        MacNestArgs proto;
+        MacNestFn kernel = nullptr;
     };
 
     struct Runtime;
 
     std::uint64_t evalMax(const AddrExpr &e) const;
-    void execSpan(const std::vector<Op> &ops, Runtime &rt) const;
-    void transfer(const Op &op, bool to_buffer, Runtime &rt) const;
+    void transfer(const CodeOp &op, bool to_buffer, Runtime &rt) const;
+    void doRdBuf(const CodeOp &op, Runtime &rt) const;
+    void doWrBuf(const CodeOp &op, Runtime &rt) const;
+    void doMac(Runtime &rt) const;
+    void doMax(Runtime &rt) const;
+    void doReluQuant(const CodeOp &op, Runtime &rt) const;
+    void doReset(Runtime &rt) const;
+    void doFusedMac(Runtime &rt) const;
+    void runSwitch(const std::vector<CodeOp> &code, Runtime &rt) const;
+    void runThreaded(const std::vector<CodeOp> &code, Runtime &rt) const;
 
     /** Iteration counts by loop depth. */
     std::vector<std::uint64_t> iters_;
-    /** Body spans; levels_[d] runs inside loops 0..d-1. */
-    std::vector<Level> levels_;
+    /** The lowered per-op program (Switch/Threaded tiers). */
+    std::vector<CodeOp> code_;
+    /** The program with the reduction nest fused (Specialized tier);
+     *  empty when no nest was recognized (code_ runs instead). */
+    std::vector<CodeOp> fusedCode_;
+    FusedNest fused_;
+    std::string kernelName_;
     /** exprs_[buffer][space]; see AddrSpace. */
     AddrExpr exprs_[3][3];
     /** Static high-water scratchpad sizes. */

@@ -31,6 +31,12 @@ Interpreter::run(const ExecPlan &plan)
     plan.execute(memory, _stats, buffers);
 }
 
+void
+Interpreter::run(const ExecPlan &plan, DispatchTier tier)
+{
+    plan.execute(memory, _stats, buffers, tier);
+}
+
 std::uint64_t
 Interpreter::evalAddr(BufferId buf, AddrSpace space, std::uint64_t row) const
 {

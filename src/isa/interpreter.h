@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "src/isa/block.h"
+#include "src/isa/dispatch.h"
 #include "src/isa/memory.h"
 
 namespace bitfusion {
@@ -100,6 +101,10 @@ class Interpreter
 
     /** Execute a pre-built plan (callers that manage plans). */
     void run(const ExecPlan &plan);
+
+    /** Execute a pre-built plan on an explicit dispatch tier
+     *  (parity tests and the per-tier perf benchmark). */
+    void run(const ExecPlan &plan, DispatchTier tier);
 
     /**
      * Execute one block on the original recursive reference walk.

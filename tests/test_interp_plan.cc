@@ -3,10 +3,13 @@
  * Compiled-plan vs reference-walk interpreter parity.
  *
  * The ExecPlan fast path (src/isa/exec_plan.h) must be bit-identical
- * to Interpreter::runLegacy in everything observable: final memory
+ * to Interpreter::runLegacy in everything observable -- final memory
  * contents and every InterpStats field (including bufHighWater and
  * bitBrickOps, which the plan derives from static analysis and the
- * memoized product table instead of executing the slow way). This
+ * memoized product table instead of executing the slow way) -- on
+ * EVERY dispatch tier: the portable switch loop, computed-goto
+ * threaded code, and the specialized program with the fused MAC-nest
+ * kernels (src/isa/dispatch.h). This
  * suite checks that across the model zoo (shrunken to interpreter
  * scale, quantized and baseline variants), across randomized
  * compiler-emitted conv/fc blocks on every paper bitwidth config,
@@ -21,6 +24,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdlib>
 #include <vector>
 
 #include "src/arch/decompose.h"
@@ -77,19 +81,33 @@ expectMemoryEqual(const MemoryModel &a, const MemoryModel &b,
         ASSERT_EQ(a.read(i), b.read(i)) << what << " address " << i;
 }
 
-/** Run one block through both paths on identical memories. */
+constexpr DispatchTier kAllTiers[kDispatchTierCount] = {
+    DispatchTier::Switch, DispatchTier::Threaded,
+    DispatchTier::Specialized};
+
+/**
+ * Run one block through the reference walk and through the compiled
+ * plan on every dispatch tier, each on its own copy of @p seed; all
+ * four executions must agree on stats and memory bit-for-bit.
+ */
 void
 checkBlockParity(const InstructionBlock &block, const MemoryModel &seed,
                  const std::string &what)
 {
     MemoryModel legacyMem = seed;
-    MemoryModel planMem = seed;
     Interpreter legacy(legacyMem);
-    Interpreter plan(planMem);
     legacy.runLegacy(block);
-    plan.run(*ExecPlan::build(block));
-    expectStatsEqual(legacy.stats(), plan.stats(), what);
-    expectMemoryEqual(legacyMem, planMem, what);
+
+    const auto plan = ExecPlan::build(block);
+    for (DispatchTier tier : kAllTiers) {
+        const std::string where =
+            what + " [" + dispatchTierName(tier) + "]";
+        MemoryModel planMem = seed;
+        Interpreter interp(planMem);
+        interp.run(*plan, tier);
+        expectStatsEqual(legacy.stats(), interp.stats(), where);
+        expectMemoryEqual(legacyMem, planMem, where);
+    }
 }
 
 // ------------------------------------------------ model-zoo parity
@@ -202,18 +220,23 @@ TEST(PlanParity, ModelZooStatsAndMemoryIdentical)
             const MemoryModel seedMem = seedMemory(cn, ++seed);
 
             MemoryModel legacyMem = seedMem;
-            MemoryModel planMem = seedMem;
             Interpreter legacy(legacyMem);
-            Interpreter plan(planMem);
-            for (const LayerSchedule &sched : cn.schedules) {
+            for (const LayerSchedule &sched : cn.schedules)
                 legacy.runLegacy(sched.block);
-                plan.run(*ExecPlan::build(sched.block));
-            }
-            expectStatsEqual(legacy.stats(), plan.stats(), net.name());
-            expectMemoryEqual(legacyMem, planMem, net.name());
             // The zoo exercises both MAC paths: memoized (<= 8x8)
             // and exact 16-bit fallback.
-            EXPECT_GT(plan.stats().macs, 0u) << net.name();
+            EXPECT_GT(legacy.stats().macs, 0u) << net.name();
+
+            for (DispatchTier tier : kAllTiers) {
+                const std::string where = net.name() + " [" +
+                                          dispatchTierName(tier) + "]";
+                MemoryModel planMem = seedMem;
+                Interpreter plan(planMem);
+                for (const LayerSchedule &sched : cn.schedules)
+                    plan.run(*ExecPlan::build(sched.block), tier);
+                expectStatsEqual(legacy.stats(), plan.stats(), where);
+                expectMemoryEqual(legacyMem, planMem, where);
+            }
         }
     }
 }
@@ -577,6 +600,260 @@ TEST(ExecPlanStatic, SixteenBitFallsBackToExactDecomposition)
     EXPECT_FALSE(plan->memoized());
 }
 
+// ------------------------------------------- fused-nest recognition
+
+TEST(ExecPlanFusion, CompilerConvNestIsFused)
+{
+    const Compiler compiler(batch1Config());
+    const Layer layer =
+        Layer::conv("c", 4, 7, 7, 6, 3, 1, 1, zoo::cfg8x8(), 2);
+    MemoryModel mem;
+    BlockBases bases;
+    const unsigned hp = layer.inH + 2 * layer.pad;
+    const unsigned wp = layer.inW + 2 * layer.pad;
+    bases.input =
+        mem.allocate(static_cast<std::size_t>(layer.inC) * hp * wp);
+    bases.weights = mem.allocate(layer.weightCount());
+    bases.output = mem.allocate(layer.outputCount());
+    const auto plan =
+        ExecPlan::build(compiler.emitConv(layer, bases, 3, ActFusion{}));
+    // The conv reduction nest is icpg x kH x kW.
+    EXPECT_TRUE(plan->fused());
+    EXPECT_EQ(plan->fusedDims(), 3u);
+    EXPECT_EQ(plan->kernelName(), "mac8u.8s");
+    EXPECT_TRUE(plan->memoized());
+}
+
+TEST(ExecPlanFusion, CompilerFcNestIsFusedOnEveryWidth)
+{
+    const Compiler compiler(batch1Config());
+    auto fcPlan = [&](const FusionConfig &cfg) {
+        const Layer layer = Layer::fc("f", 16, 6, cfg);
+        MemoryModel mem;
+        BlockBases bases;
+        bases.input = mem.allocate(layer.inputCount());
+        bases.weights = mem.allocate(layer.weightCount());
+        bases.output = mem.allocate(layer.outputCount());
+        return ExecPlan::build(compiler.emitFc(layer, bases, 4, 8));
+    };
+
+    const auto p8 = fcPlan(zoo::cfg8x8());
+    EXPECT_TRUE(p8->fused());
+    EXPECT_EQ(p8->fusedDims(), 1u);
+    EXPECT_TRUE(p8->memoized());
+    EXPECT_EQ(p8->kernelName(), "mac8u.8s");
+
+    // 16-bit has no product table, but the fused kernel covers it:
+    // the 1x legacy-speed fallback of earlier revisions is gone.
+    const auto p16 = fcPlan(zoo::cfg16x16());
+    EXPECT_TRUE(p16->fused());
+    EXPECT_EQ(p16->fusedDims(), 1u);
+    EXPECT_FALSE(p16->memoized());
+    EXPECT_EQ(p16->kernelName(), "mac16s.16s");
+
+    const auto p41 = fcPlan(zoo::cfg4x1());
+    EXPECT_TRUE(p41->fused());
+    EXPECT_EQ(p41->kernelName(), "mac4u.1u");
+}
+
+TEST(ExecPlanFusion, PoolingBodyIsNotFused)
+{
+    // A pooling reduction (Reset / rd-buf / Max) must not match the
+    // MAC-nest pattern.
+    InstructionBlock b;
+    b.name = "pool";
+    b.config = zoo::cfg8x8();
+    auto &ins = b.instructions;
+    ins.push_back(Instruction::setup(8, 8, false, true));
+    ins.push_back(Instruction::loop(0, 2));
+    ins.push_back(Instruction::loop(1, 2));
+    ins.push_back(Instruction::genAddr(BufferId::Ibuf,
+                                       AddrSpace::BufAccess, 1, 1));
+    ins.push_back(Instruction::genAddr(BufferId::Obuf,
+                                       AddrSpace::BufAccess, 0, 1));
+    ins.push_back(Instruction::ldMem(BufferId::Ibuf, 0, 2));
+    ins.push_back(Instruction::ldMem(BufferId::Obuf, 0, 2));
+    ins.push_back(Instruction::rdBuf(BufferId::Obuf, 1));
+    ins.push_back(Instruction::compute(ComputeFn::Reset, 1));
+    ins.push_back(Instruction::rdBuf(BufferId::Ibuf, 2));
+    ins.push_back(Instruction::compute(ComputeFn::Max, 2));
+    ins.push_back(Instruction::wrBuf(BufferId::Obuf, 1, true));
+    ins.push_back(Instruction::stMem(BufferId::Obuf, 0, 2, true));
+    ins.push_back(Instruction::blockEnd(0));
+    b.validate();
+
+    MemoryModel mem;
+    const std::uint64_t base = mem.allocate(4);
+    mem.write(base + 0, 9);
+    mem.write(base + 1, 4);
+    b.baseAddr = {base, base + 2, base};
+
+    const auto plan = ExecPlan::build(b);
+    EXPECT_FALSE(plan->fused());
+    EXPECT_EQ(plan->fusedDims(), 0u);
+    EXPECT_EQ(plan->kernelName(), "");
+    checkBlockParity(b, mem, "pool");
+}
+
+TEST(PlanParity, RegistersObservableAfterFusedNest)
+{
+    // An op outside the fused nest that reads the operand registers
+    // (a MAC at the accumulator level) must see exactly the values
+    // the last per-element body iteration would have left: the last
+    // elements read from IBUF and WBUF.
+    InstructionBlock b;
+    b.name = "register-observer";
+    b.config = zoo::cfg8x8();
+    auto &ins = b.instructions;
+    ins.push_back(Instruction::setup(8, 8, false, true));
+    ins.push_back(Instruction::loop(0, 2));
+    ins.push_back(Instruction::loop(1, 3));
+    ins.push_back(Instruction::genAddr(BufferId::Ibuf,
+                                       AddrSpace::BufAccess, 1, 1));
+    ins.push_back(Instruction::genAddr(BufferId::Wbuf,
+                                       AddrSpace::BufAccess, 1, 1));
+    ins.push_back(Instruction::genAddr(BufferId::Obuf,
+                                       AddrSpace::BufAccess, 0, 1));
+    ins.push_back(Instruction::ldMem(BufferId::Ibuf, 0, 3));
+    ins.push_back(Instruction::ldMem(BufferId::Wbuf, 0, 3));
+    ins.push_back(Instruction::ldMem(BufferId::Obuf, 0, 2));
+    ins.push_back(Instruction::rdBuf(BufferId::Obuf, 1));
+    // Observer: on the second outer iteration this MACs the register
+    // values left by the first fused-nest dispatch.
+    ins.push_back(Instruction::compute(ComputeFn::Mac, 1));
+    ins.push_back(Instruction::rdBuf(BufferId::Ibuf, 2));
+    ins.push_back(Instruction::rdBuf(BufferId::Wbuf, 2));
+    ins.push_back(Instruction::compute(ComputeFn::Mac, 2));
+    ins.push_back(Instruction::wrBuf(BufferId::Obuf, 1, true));
+    ins.push_back(Instruction::stMem(BufferId::Obuf, 0, 2, true));
+    ins.push_back(Instruction::blockEnd(0));
+    b.validate();
+
+    MemoryModel mem;
+    const std::uint64_t ib = mem.allocate(3);
+    const std::uint64_t ob = mem.allocate(2);
+    const std::uint64_t wb = mem.allocate(3);
+    const std::int64_t acts[3] = {5, 2, 7};
+    const std::int64_t wgts[3] = {3, -1, -4};
+    for (unsigned i = 0; i < 3; ++i) {
+        mem.write(ib + i, acts[i]);
+        mem.write(wb + i, wgts[i]);
+    }
+    b.baseAddr = {ib, ob, wb};
+
+    const auto plan = ExecPlan::build(b);
+    EXPECT_TRUE(plan->fused());
+    EXPECT_EQ(plan->fusedDims(), 1u);
+    checkBlockParity(b, mem, "register-observer");
+
+    // Spell the expectation out: output 1 is (regIn * regWgt after
+    // nest 0) + the second nest, i.e. 7 * -4 + (5*3 + 2*-1 + 7*-4).
+    MemoryModel specMem = mem;
+    Interpreter interp(specMem);
+    interp.run(*plan, DispatchTier::Specialized);
+    EXPECT_EQ(specMem.read(ob + 0), 5 * 3 + 2 * -1 + 7 * -4);
+    EXPECT_EQ(specMem.read(ob + 1),
+              7 * -4 + (5 * 3 + 2 * -1 + 7 * -4));
+}
+
+TEST(PlanParity, ZeroTripFusedNestExecutesNothing)
+{
+    // A recognized MAC nest whose static trip count is zero (decoded
+    // word streams can deliver zero-trip loops) must run no body at
+    // all on any tier -- the specialized program simply omits the
+    // fused op.
+    InstructionBlock b;
+    b.name = "zero-trip-fused";
+    b.config = zoo::cfg8x8();
+    auto &ins = b.instructions;
+    ins.push_back(Instruction::setup(8, 8, false, true));
+    ins.push_back(Instruction::loop(0, 2));
+    ins.push_back(Instruction::loop(1, 1)); // imm zeroed below
+    ins.push_back(Instruction::genAddr(BufferId::Ibuf,
+                                       AddrSpace::BufAccess, 1, 1));
+    ins.push_back(Instruction::genAddr(BufferId::Wbuf,
+                                       AddrSpace::BufAccess, 1, 1));
+    ins.push_back(Instruction::genAddr(BufferId::Obuf,
+                                       AddrSpace::BufAccess, 0, 1));
+    ins.push_back(Instruction::ldMem(BufferId::Ibuf, 0, 1));
+    ins.push_back(Instruction::ldMem(BufferId::Wbuf, 0, 1));
+    ins.push_back(Instruction::ldMem(BufferId::Obuf, 0, 2));
+    ins.push_back(Instruction::rdBuf(BufferId::Obuf, 1));
+    ins.push_back(Instruction::rdBuf(BufferId::Ibuf, 2));
+    ins.push_back(Instruction::rdBuf(BufferId::Wbuf, 2));
+    ins.push_back(Instruction::compute(ComputeFn::Mac, 2));
+    ins.push_back(Instruction::wrBuf(BufferId::Obuf, 1, true));
+    ins.push_back(Instruction::stMem(BufferId::Obuf, 0, 2, true));
+    ins.push_back(Instruction::blockEnd(0));
+    for (Instruction &inst : ins)
+        if (inst.op == Opcode::Loop && inst.id == 1)
+            inst.imm = 0;
+    b.validate();
+
+    MemoryModel mem;
+    const std::uint64_t base = mem.allocate(4);
+    mem.write(base + 0, 11);
+    b.baseAddr = {base, base + 2, base + 1};
+
+    const auto plan = ExecPlan::build(b);
+    EXPECT_TRUE(plan->fused());
+    checkBlockParity(b, mem, "zero-trip-fused");
+
+    MemoryModel specMem = mem;
+    Interpreter interp(specMem);
+    interp.run(*plan, DispatchTier::Specialized);
+    EXPECT_EQ(interp.stats().macs, 0u);
+    EXPECT_EQ(interp.stats().bufReads[0], 0u);
+    EXPECT_EQ(interp.stats().bufReads[2], 0u);
+}
+
+using ExecPlanDeathTest = ::testing::Test;
+
+TEST(ExecPlanDeathTest, SpecializedTierRejectsUnrepresentableWeight)
+{
+    // The fused kernel's range mask must reproduce the reference
+    // walk's representability failure, not silently accumulate an
+    // out-of-range operand.
+    const Compiler compiler(batch1Config());
+    const Layer layer = Layer::fc("f", 8, 4, zoo::cfg8x8());
+    MemoryModel mem;
+    BlockBases bases;
+    bases.input = mem.allocate(layer.inputCount());
+    bases.weights = mem.allocate(layer.weightCount());
+    bases.output = mem.allocate(layer.outputCount());
+    const InstructionBlock block = compiler.emitFc(layer, bases, 4, 8);
+    const auto plan = ExecPlan::build(block);
+    ASSERT_TRUE(plan->fused());
+
+    // 200 does not fit 8-bit signed weights.
+    mem.write(bases.weights, 200);
+    Interpreter interp(mem);
+    EXPECT_DEATH(interp.run(*plan, DispatchTier::Specialized),
+                 "not representable");
+}
+
+// --------------------------------------------- dispatch tiers
+
+TEST(DispatchTierTest, NamesParseRoundTrip)
+{
+    for (DispatchTier tier : kAllTiers) {
+        DispatchTier parsed;
+        ASSERT_TRUE(parseDispatchTier(dispatchTierName(tier), parsed))
+            << dispatchTierName(tier);
+        EXPECT_EQ(parsed, tier);
+    }
+    DispatchTier out;
+    EXPECT_FALSE(parseDispatchTier("", out));
+    EXPECT_FALSE(parseDispatchTier("fast", out));
+    EXPECT_FALSE(parseDispatchTier("Switch", out));
+
+    // The default is the top rung unless BITFUSION_DISPATCH says
+    // otherwise (the CI parity jobs set it; a plain test run won't).
+    if (std::getenv("BITFUSION_DISPATCH") == nullptr) {
+        EXPECT_EQ(defaultDispatchTier(), DispatchTier::Specialized);
+    }
+}
+
 TEST(ProductTable, MatchesExactDecomposition)
 {
     for (const FusionConfig &cfg :
@@ -610,6 +887,92 @@ TEST(ProductTable, MatchesExactDecomposition)
         }
     }
     EXPECT_EQ(productTableFor(zoo::cfg16x16()), nullptr);
+}
+
+TEST(ProductTable, AllSignednessCombosMatchNativeProducts)
+{
+    // The memo entries are filled with native a*w; every signedness
+    // combination must still equal the exact decomposition path.
+    for (bool aSigned : {false, true}) {
+        for (bool wSigned : {false, true}) {
+            const FusionConfig cfg{4, 4, aSigned, wSigned};
+            const ProductTable *table = productTableFor(cfg);
+            ASSERT_NE(table, nullptr);
+            for (std::uint64_t ra = 0; ra < 16; ++ra) {
+                const std::int64_t a =
+                    aSigned ? signExtend(ra, 4)
+                            : static_cast<std::int64_t>(ra);
+                for (std::uint64_t rw = 0; rw < 16; ++rw) {
+                    const std::int64_t w =
+                        wSigned ? signExtend(rw, 4)
+                                : static_cast<std::int64_t>(rw);
+                    const std::int64_t memo =
+                        table->products[(ra << 4) | rw];
+                    ASSERT_EQ(memo, a * w)
+                        << cfg.toString() << " a=" << a << " w=" << w;
+                    ASSERT_EQ(memo, evaluateDecomposition(
+                                        decomposeMultiply(a, w, cfg)))
+                        << cfg.toString() << " a=" << a << " w=" << w;
+                }
+            }
+        }
+    }
+}
+
+TEST(ProductTable, CacheCountersTrackBuildsAndHits)
+{
+    const ProductTableCacheStats s0 = productTableCacheStats();
+    const ProductTable *first = productTableFor(zoo::cfg8x8());
+    const ProductTableCacheStats s1 = productTableCacheStats();
+    // Whether another test built this table already or not, the call
+    // was one build or one hit -- never more.
+    EXPECT_EQ((s1.builds - s0.builds) + (s1.hits - s0.hits), 1u);
+    EXPECT_LE(s1.builds - s0.builds, 1u);
+
+    const ProductTable *again = productTableFor(zoo::cfg8x8());
+    const ProductTableCacheStats s2 = productTableCacheStats();
+    EXPECT_EQ(again, first);
+    EXPECT_EQ(s2.builds, s1.builds) << "table was rebuilt";
+    EXPECT_EQ(s2.hits, s1.hits + 1);
+}
+
+TEST(WideConfigProducts, SampledPairsMatchExactDecomposition)
+{
+    // The configs with no product table run the fused kernel's
+    // native multiply; this pins a*w == the BitBrick decomposition
+    // on the 16-bit and mixed-width configs at the range corners and
+    // on random samples.
+    const FusionConfig cfgs[] = {FusionConfig{16, 16, true, true},
+                                 FusionConfig{16, 16, false, false},
+                                 FusionConfig{16, 8, true, true},
+                                 FusionConfig{8, 16, false, true},
+                                 FusionConfig{16, 4, true, false},
+                                 FusionConfig{2, 16, false, true}};
+    Prng prng(20260808);
+    for (const FusionConfig &cfg : cfgs) {
+        auto corners = [](unsigned bits, bool sgn) {
+            return sgn ? std::vector<std::int64_t>{signedMin(bits), -1,
+                                                   0, 1,
+                                                   signedMax(bits)}
+                       : std::vector<std::int64_t>{0, 1,
+                                                   unsignedMax(bits)};
+        };
+        std::vector<std::int64_t> as = corners(cfg.aBits, cfg.aSigned);
+        std::vector<std::int64_t> ws = corners(cfg.wBits, cfg.wSigned);
+        for (unsigned i = 0; i < 24; ++i) {
+            as.push_back(cfg.aSigned ? prng.nextSigned(cfg.aBits)
+                                     : prng.nextUnsigned(cfg.aBits));
+            ws.push_back(cfg.wSigned ? prng.nextSigned(cfg.wBits)
+                                     : prng.nextUnsigned(cfg.wBits));
+        }
+        for (std::int64_t a : as) {
+            for (std::int64_t w : ws) {
+                ASSERT_EQ(a * w, evaluateDecomposition(
+                                     decomposeMultiply(a, w, cfg)))
+                    << cfg.toString() << " a=" << a << " w=" << w;
+            }
+        }
+    }
 }
 
 // --------------------------------------------------- plan cache

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Compare two bench_perf JSON dumps for semantic parity.
+
+The dispatch tiers (BITFUSION_DISPATCH=switch|threaded|specialized)
+may only differ in *timing*: every semantic field of the interp
+section -- mac counts, stats/memory parity, memoization and fusion
+flags -- must be identical across runs. CI runs bench_perf once per
+tier and feeds the dumps through this script pairwise; a mismatch
+means a tier computed something different, which the perf numbers
+would happily hide.
+
+Usage: bench_diff.py A.json B.json
+Exits 0 when the semantic entries match, 1 with a report otherwise.
+Only stdlib is used.
+"""
+
+import json
+import sys
+
+# Metrics that must be identical across dispatch tiers. Everything
+# else (throughputs, speedups, build/wall times) is timing.
+SEMANTIC_METRICS = {"macs", "stats_parity", "memoized", "fused"}
+
+
+def semantic_entries(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    if doc.get("schema") != "bitfusion-bench-1":
+        sys.exit(f"{path}: unexpected schema {doc.get('schema')!r}")
+    out = {}
+    for e in doc.get("entries", []):
+        if e.get("section") != "interp":
+            continue
+        if e.get("metric") not in SEMANTIC_METRICS:
+            continue
+        out[(e["name"], e["metric"])] = e["value"]
+    if not out:
+        sys.exit(f"{path}: no semantic interp entries found")
+    return out
+
+
+def main(argv):
+    if len(argv) != 3:
+        sys.exit(__doc__.strip().splitlines()[-3].strip())
+    a_path, b_path = argv[1], argv[2]
+    a = semantic_entries(a_path)
+    b = semantic_entries(b_path)
+
+    problems = []
+    for key in sorted(set(a) | set(b)):
+        name, metric = key
+        if key not in a:
+            problems.append(f"{name}.{metric}: only in {b_path}")
+        elif key not in b:
+            problems.append(f"{name}.{metric}: only in {a_path}")
+        elif a[key] != b[key]:
+            problems.append(
+                f"{name}.{metric}: {a[key]} ({a_path}) != "
+                f"{b[key]} ({b_path})"
+            )
+
+    if problems:
+        print(f"bench_diff: {a_path} vs {b_path} diverged:")
+        for p in problems:
+            print(f"  {p}")
+        return 1
+    print(
+        f"bench_diff: {a_path} and {b_path} agree on "
+        f"{len(a)} semantic entries"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
