@@ -145,7 +145,7 @@ main(int argc, char **argv)
                       num(lat.p50, 1), num(lat.p99, 1),
                       std::to_string(report.deadlineMisses),
                       num(100.0 * report.batchFill(), 1) + "%",
-                      std::to_string(report.batches.size())});
+                      std::to_string(report.batchCount)});
     }
     sched.print();
     std::printf("\n(same load on one %u-replica fleet; lookahead runs "

@@ -1,0 +1,237 @@
+/**
+ * @file
+ * Million-request serving benchmark: p99 latency and energy versus
+ * offered load per dispatch scheduler, plus wall-clock per simulated
+ * request at streaming scale.
+ *
+ * The sweep serves the same seeded bursty (MMPP) open-loop trace
+ * through every dispatch policy at several offered loads, with
+ * streaming statistics on, per-request record retention off, and
+ * admission control shedding both over-depth and unmeetable-deadline
+ * arrivals -- the configuration a production-scale day runs at. The
+ * scale run then serves --scale-requests (default 1e6) requests
+ * once and reports the engine's wall-clock cost per simulated
+ * request. Virtual-clock metrics (served/shed counts, p99, energy)
+ * are deterministic for a fixed seed on any machine, so tools/
+ * bench_diff.py pins them across the BENCH trajectory
+ * (BENCH_8.json); wall-clock entries are timing-only.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/common/cli.h"
+#include "src/common/json.h"
+#include "src/common/table.h"
+#include "src/serve/scheduler.h"
+#include "src/serve/serving_engine.h"
+
+namespace {
+
+using namespace bitfusion;
+using namespace bitfusion::serve;
+using Clock = std::chrono::steady_clock;
+
+std::string
+num(double v, int digits)
+{
+    return TextTable::num(v, digits);
+}
+
+double
+wallMs(Clock::time_point start)
+{
+    return std::chrono::duration<double, std::milli>(Clock::now() -
+                                                     start)
+        .count();
+}
+
+/** The production-day engine configuration for one policy. */
+ServeOptions
+scaleOptions(const std::string &scheduler, unsigned threads)
+{
+    ServeOptions options;
+    options.threads = threads;
+    options.scheduler = scheduler;
+    options.streamingStats = true;
+    options.retainRecords = false;
+    options.shedUnmeetable = true;
+    options.maxQueueDepth = 256;
+    if (scheduler == "fifo" || scheduler == "lookahead")
+        options.maxWaitUs = 400.0;
+    if (scheduler == "slo")
+        options.sloBudgetUs = 30000.0;
+    return options;
+}
+
+/** The seeded bursty day: MMPP arrivals with a flash crowd. */
+TraceSpec
+scaleTrace(std::size_t requests, double meanGapUs)
+{
+    TraceSpec spec;
+    spec.seed = 29;
+    spec.requests = requests;
+    spec.meanGapUs = meanGapUs;
+    spec.maxSamples = 4;
+    spec.deadlineSlackUs = 20000.0;
+    spec.process = ArrivalProcess::Mmpp;
+    spec.burstRateMultiplier = 4.0;
+    spec.meanBurstUs = 20000.0;
+    spec.meanCalmUs = 200000.0;
+    return spec;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::size_t requests = 20000;
+    std::size_t scaleRequests = 1000000;
+    unsigned threads = 0;
+    std::string jsonPath;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--requests") {
+            requests = static_cast<std::size_t>(
+                cli::uintArg(argc, argv, i, "--requests"));
+        } else if (arg == "--scale-requests") {
+            scaleRequests = static_cast<std::size_t>(
+                cli::uintArg(argc, argv, i, "--scale-requests"));
+        } else if (arg == "--threads") {
+            threads = static_cast<unsigned>(
+                cli::uintArg(argc, argv, i, "--threads", UINT32_MAX));
+        } else if (arg == "--json" && i + 1 < argc) {
+            jsonPath = argv[++i];
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--requests N] "
+                         "[--scale-requests N] [--threads N] "
+                         "[--json PATH]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+
+    json::Value entries = json::Value::array();
+    const auto entry = [&](const char *section,
+                           const std::string &name,
+                           const std::string &metric, double value,
+                           const char *unit) {
+        entries.push(json::Value::object()
+                         .set("section", section)
+                         .set("name", name)
+                         .set("metric", metric)
+                         .set("value", value)
+                         .set("unit", unit));
+    };
+
+    // -------------------- p99 / energy vs offered load per policy
+    std::printf("=== Serve scale sweep: %zu MMPP requests per cell, "
+                "streaming stats, admission control ===\n\n",
+                requests);
+    TextTable table({"Scheduler", "gap us", "served", "shed",
+                     "misses", "p99 us", "energy J", "wall ms"});
+    // Spans light load, near-saturation, and deep overload for one
+    // bitfusion replica (capacity is roughly a 3000 us mean gap at
+    // this request mix).
+    const double gaps[] = {8000.0, 3000.0, 1000.0};
+    for (const char *scheduler :
+         {"fifo", "lookahead", "edf", "slo"}) {
+        for (double gapUs : gaps) {
+            ServingEngine engine(
+                PlatformRegistry::builtin().parse("bitfusion"),
+                scaleOptions(scheduler, threads));
+            const std::vector<InferenceRequest> trace =
+                syntheticTrace(scaleTrace(requests, gapUs));
+            const Clock::time_point start = Clock::now();
+            const ServeReport report = engine.run(trace);
+            const double ms = wallMs(start);
+            const double p99 = report.latencyUs().p99;
+            table.addRow({scheduler, num(gapUs, 0),
+                          std::to_string(report.requestCount),
+                          std::to_string(report.shedRequests),
+                          std::to_string(report.deadlineMisses),
+                          num(p99, 1), num(report.energyJ, 3),
+                          num(ms, 1)});
+
+            const std::string name =
+                std::string(scheduler) + "@gap" +
+                num(gapUs, 0);
+            entry("serve", name, "requests",
+                  static_cast<double>(report.requestCount), "req");
+            entry("serve", name, "samples",
+                  static_cast<double>(report.totalSamples),
+                  "sample");
+            entry("serve", name, "batches",
+                  static_cast<double>(report.batchCount), "batch");
+            entry("serve", name, "shed",
+                  static_cast<double>(report.shedRequests), "req");
+            entry("serve", name, "misses",
+                  static_cast<double>(report.deadlineMisses), "req");
+            entry("serve", name, "p99_us", p99, "us");
+            entry("serve", name, "energy_j", report.energyJ, "J");
+            entry("serve", name, "wall_ms", ms, "ms");
+            entry("serve", name, "wall_ns_per_req",
+                  1e6 * ms / static_cast<double>(requests), "ns");
+        }
+    }
+    table.print();
+    std::printf("\n(one bitfusion replica; MMPP burst x4; deadline "
+                "20000 us; shed = admission control, misses = "
+                "dispatched late)\n");
+
+    // ----------------------- wall-clock per simulated request at 1e6
+    if (scaleRequests > 0) {
+        ServingEngine engine(
+            PlatformRegistry::builtin().parse("bitfusion"),
+            scaleOptions("fifo", threads));
+        const std::vector<InferenceRequest> trace =
+            syntheticTrace(scaleTrace(scaleRequests, 3000.0));
+        const Clock::time_point start = Clock::now();
+        const ServeReport report = engine.run(trace);
+        const double ms = wallMs(start);
+        const double nsPerReq =
+            1e6 * ms / static_cast<double>(scaleRequests);
+        std::printf("\nscale run: %zu requests (fifo) in %.1f ms "
+                    "wall -- %.0f ns per simulated request, %zu "
+                    "served, %zu shed\n",
+                    scaleRequests, ms, nsPerReq, report.requestCount,
+                    report.shedRequests);
+        const std::string name = "mmpp_fifo_scale";
+        entry("serve_scale", name, "requests",
+              static_cast<double>(report.requestCount), "req");
+        entry("serve_scale", name, "shed",
+              static_cast<double>(report.shedRequests), "req");
+        entry("serve_scale", name, "misses",
+              static_cast<double>(report.deadlineMisses), "req");
+        entry("serve_scale", name, "p99_us", report.latencyUs().p99,
+              "us");
+        entry("serve_scale", name, "energy_j", report.energyJ, "J");
+        entry("serve_scale", name, "wall_ms", ms, "ms");
+        entry("serve_scale", name, "wall_ns_per_req", nsPerReq, "ns");
+    }
+
+    if (!jsonPath.empty()) {
+        json::Value doc = json::Value::object();
+        doc.set("schema", "bitfusion-bench-1");
+        doc.set("bench", "bench_serve_scale");
+        doc.set("requests", static_cast<std::uint64_t>(requests));
+        doc.set("scale_requests",
+                static_cast<std::uint64_t>(scaleRequests));
+        doc.set("entries", std::move(entries));
+        std::ofstream out(jsonPath);
+        if (!out) {
+            std::fprintf(stderr, "cannot write %s\n",
+                         jsonPath.c_str());
+            return 1;
+        }
+        out << doc.dump(2) << "\n";
+    }
+    return 0;
+}

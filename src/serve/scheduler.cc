@@ -109,7 +109,8 @@ class FifoScheduler : public Scheduler
             const bool waited = windowEnd > now;
             while (samples < cap && ctx.nextArrival() != nullptr &&
                    ctx.nextArrival()->arrivalUs <= windowEnd) {
-                ctx.absorbNextArrival();
+                if (!ctx.absorbNextArrival())
+                    continue; // shed by admission control
                 const InferenceRequest &next = queue.back();
                 if (next.network == head.network &&
                     samples + next.samples <= cap) {
@@ -303,7 +304,8 @@ class SloScheduler : public Scheduler
                 dispatch = latest; // the budget timer fires
                 break;
             }
-            ctx.absorbNextArrival();
+            if (!ctx.absorbNextArrival())
+                continue; // shed by admission control
             const InferenceRequest &joined = queue.back();
             if (joined.network == head.network &&
                 samples + joined.samples <= cap) {

@@ -76,8 +76,12 @@ class SchedulerContext
     virtual const std::deque<InferenceRequest> &queue() const = 0;
     /** Earliest future arrival; nullptr when the stream is dry. */
     virtual const InferenceRequest *nextArrival() const = 0;
-    /** Move the earliest future arrival to the back of queue(). */
-    virtual void absorbNextArrival() = 0;
+    /**
+     * Move the earliest future arrival to the back of queue().
+     * Returns false when admission control shed it instead (the
+     * queue is unchanged; the policy must not touch queue().back()).
+     */
+    virtual bool absorbNextArrival() = 0;
     /**
      * Cheapest simulated latency of a (network, samples) batch
      * across the platform classes with a replica free at the

@@ -10,10 +10,12 @@
 #include <algorithm>
 #include <cmath>
 #include <deque>
+#include <functional>
 #include <limits>
 #include <queue>
 #include <set>
 #include <sstream>
+#include <utility>
 
 #include "src/common/json.h"
 #include "src/common/logging.h"
@@ -53,6 +55,18 @@ percentilesJson(const Percentiles &p)
         .set("p99", p.p99)
         .set("mean", p.mean)
         .set("max", p.max);
+}
+
+Percentiles
+streamPercentiles(const StreamingSummary &stream)
+{
+    Percentiles p;
+    p.p50 = stream.p50();
+    p.p95 = stream.p95();
+    p.p99 = stream.p99();
+    p.mean = stream.mean();
+    p.max = stream.max();
+    return p;
 }
 
 /** Replicas whose specs describe the same machine share one
@@ -107,6 +121,12 @@ percentiles(std::vector<double> values)
 Percentiles
 ServeReport::latencyUs() const
 {
+    if (streamingStats)
+        return streamPercentiles(latencyStream);
+    if (!latencySamples.empty() || requests.empty())
+        return percentiles(latencySamples);
+    // A hand-assembled report (tests) with records but no sample
+    // vector still summarizes.
     std::vector<double> values;
     values.reserve(requests.size());
     for (const auto &r : requests)
@@ -117,6 +137,10 @@ ServeReport::latencyUs() const
 Percentiles
 ServeReport::queueUs() const
 {
+    if (streamingStats)
+        return streamPercentiles(queueStream);
+    if (!queueSamples.empty() || requests.empty())
+        return percentiles(queueSamples);
     std::vector<double> values;
     values.reserve(requests.size());
     for (const auto &r : requests)
@@ -125,28 +149,42 @@ ServeReport::queueUs() const
 }
 
 double
+ServeReport::throughputWindowUs() const
+{
+    // The legacy definition divides by the whole virtual timeline
+    // (time 0 to makespan), which understates throughput for parsed
+    // traces whose first arrival is far from 0; the opt-in active
+    // window divides by first arrival -> makespan instead.
+    if (!activeWindow)
+        return makespanUs;
+    return std::max(0.0, makespanUs - firstArrivalUs);
+}
+
+double
 ServeReport::requestsPerSec() const
 {
-    if (makespanUs <= 0.0)
+    const double windowUs = throughputWindowUs();
+    if (windowUs <= 0.0)
         return 0.0;
-    return static_cast<double>(requests.size()) / (makespanUs * 1e-6);
+    return static_cast<double>(requestCount) / (windowUs * 1e-6);
 }
 
 double
 ServeReport::samplesPerSec() const
 {
-    if (makespanUs <= 0.0)
+    const double windowUs = throughputWindowUs();
+    if (windowUs <= 0.0)
         return 0.0;
-    return static_cast<double>(totalSamples) / (makespanUs * 1e-6);
+    return static_cast<double>(totalSamples) / (windowUs * 1e-6);
 }
 
 double
 ServeReport::batchFill() const
 {
-    if (batches.empty() || maxBatch == 0)
+    if (batchCount == 0 || maxBatch == 0)
         return 0.0;
     return static_cast<double>(totalSamples) /
-           (static_cast<double>(batches.size()) *
+           (static_cast<double>(batchCount) *
             static_cast<double>(maxBatch));
 }
 
@@ -160,7 +198,10 @@ std::string
 ServeReport::json(bool per_request) const
 {
     // The fleet-era fields are gated so a one-replica fifo report
-    // keeps the engine's original JSON shape byte-for-byte.
+    // keeps the engine's original JSON shape byte-for-byte; the
+    // admission / streaming / active-window fields are likewise
+    // gated on their features so every pre-existing golden stays
+    // byte-identical.
     const bool fleet = fleetReport();
 
     json::Value doc = json::Value::object();
@@ -173,20 +214,33 @@ ServeReport::json(bool per_request) const
     doc.set("timing", toString(timing))
         .set("max_batch", maxBatch)
         .set("max_wait_us", maxWaitUs)
-        .set("requests", static_cast<std::uint64_t>(requests.size()))
+        .set("requests", static_cast<std::uint64_t>(requestCount))
         .set("samples", totalSamples)
-        .set("batches", static_cast<std::uint64_t>(batches.size()))
+        .set("batches", static_cast<std::uint64_t>(batchCount))
         .set("batch_fill", batchFill())
         .set("distinct_batch_shapes",
              static_cast<std::uint64_t>(distinctBatchShapes))
-        .set("makespan_us", makespanUs)
-        .set("requests_per_sec", requestsPerSec())
-        .set("samples_per_sec", samplesPerSec())
-        .set("latency_us", percentilesJson(latencyUs()))
+        .set("makespan_us", makespanUs);
+    if (activeWindow) {
+        doc.set("first_arrival_us", firstArrivalUs)
+            .set("active_window_us", throughputWindowUs());
+    }
+    doc.set("requests_per_sec", requestsPerSec())
+        .set("samples_per_sec", samplesPerSec());
+    if (streamingStats)
+        doc.set("streaming_stats", true);
+    doc.set("latency_us", percentilesJson(latencyUs()))
         .set("queue_us", percentilesJson(queueUs()))
         .set("deadline_misses",
-             static_cast<std::uint64_t>(deadlineMisses))
-        .set("energy_j", energyJ)
+             static_cast<std::uint64_t>(deadlineMisses));
+    if (admissionControl) {
+        doc.set("shed", static_cast<std::uint64_t>(shedRequests))
+            .set("shed_by_depth",
+                 static_cast<std::uint64_t>(shedByDepth))
+            .set("shed_by_deadline",
+                 static_cast<std::uint64_t>(shedByDeadline));
+    }
+    doc.set("energy_j", energyJ)
         .set("energy_per_sample_j",
              totalSamples != 0
                  ? energyJ / static_cast<double>(totalSamples)
@@ -281,6 +335,21 @@ ServingEngine::ServingEngine(std::vector<PlatformSpec> fleet,
                                     : &ArtifactCache::process();
     for (const auto &bench : zoo::all())
         catalog_.push_back(bench);
+    internCatalog();
+}
+
+void
+ServingEngine::internCatalog()
+{
+    networkIds_.clear();
+    networkIds_.reserve(catalog_.size());
+    for (std::size_t i = 0; i < catalog_.size(); ++i)
+        networkIds_.emplace(catalog_[i].name,
+                            static_cast<unsigned>(i));
+    for (auto &cls : classes_) {
+        cls.memo.clear();
+        cls.memo.resize(catalog_.size());
+    }
 }
 
 void
@@ -289,8 +358,7 @@ ServingEngine::setCatalog(std::vector<zoo::Benchmark> catalog)
     if (catalog.empty())
         BF_FATAL("serving catalog must not be empty");
     catalog_ = std::move(catalog);
-    for (auto &cls : classes_)
-        cls.memo.clear();
+    internCatalog();
 }
 
 unsigned
@@ -304,14 +372,19 @@ ServingEngine::maxBatch() const
     return best;
 }
 
+unsigned
+ServingEngine::networkId(const std::string &name) const
+{
+    const auto it = networkIds_.find(name);
+    if (it == networkIds_.end())
+        BF_FATAL("serving catalog has no network '", name, "'");
+    return it->second;
+}
+
 const zoo::Benchmark &
 ServingEngine::benchmark(const std::string &name) const
 {
-    for (const auto &bench : catalog_) {
-        if (bench.name == name)
-            return bench;
-    }
-    BF_FATAL("serving catalog has no network '", name, "'");
+    return catalog_[networkId(name)];
 }
 
 const Network &
@@ -337,28 +410,28 @@ ServingEngine::platformFor(std::size_t cls, unsigned batch)
 }
 
 const RunStats &
-ServingEngine::statsFor(std::size_t cls, const std::string &network,
+ServingEngine::statsFor(std::size_t cls, unsigned netId,
                         unsigned batch)
 {
     PlatformClass &entry = classes_[cls];
-    const auto key = std::make_pair(network, batch);
-    auto it = entry.memo.find(key);
-    if (it != entry.memo.end())
+    std::map<unsigned, RunStats> &shapes = entry.memo[netId];
+    auto it = shapes.find(batch);
+    if (it != shapes.end())
         return it->second;
 
     const Platform &platform = platformFor(cls, batch);
-    const Network &net = variant(benchmark(network), entry.spec);
+    const Network &net = variant(catalog_[netId], entry.spec);
     const ArtifactCache::Outcome out = cache_->get(platform, net);
     RunOptions runOpts;
     runOpts.timing = opts_.timing;
     runOpts.artifact = out.artifact.get();
-    return entry.memo.emplace(key, platform.run(net, runOpts))
+    return shapes.emplace(batch, platform.run(net, runOpts))
         .first->second;
 }
 
 double
-ServingEngine::cheapestFreeLatencyUs(const std::string &network,
-                                     unsigned batch, double now)
+ServingEngine::cheapestFreeLatencyUs(unsigned netId, unsigned batch,
+                                     double now)
 {
     // Only classes with a replica free at the planning time can
     // receive the batch, so the estimate handed to schedulers is an
@@ -371,17 +444,28 @@ ServingEngine::cheapestFreeLatencyUs(const std::string &network,
             free = free || (replica.cls == c && replica.freeAt <= now);
         if (!free)
             continue;
-        best = std::min(best, statsFor(c, network, batch).seconds() * 1e6);
+        best = std::min(best, statsFor(c, netId, batch).seconds() * 1e6);
     }
     return best;
+}
+
+double
+ServingEngine::minFreeAtUs() const
+{
+    double earliest = replicas_.front().freeAt;
+    for (const auto &replica : replicas_)
+        earliest = std::min(earliest, replica.freeAt);
+    return earliest;
 }
 
 std::size_t
 ServingEngine::memoSize() const
 {
     std::size_t total = 0;
-    for (const auto &cls : classes_)
-        total += cls.memo.size();
+    for (const auto &cls : classes_) {
+        for (const auto &shapes : cls.memo)
+            total += shapes.size();
+    }
     return total;
 }
 
@@ -459,19 +543,18 @@ class ServingEngine::LoopContext : public SchedulerContext
         return future_.empty() ? nullptr : &future_.top();
     }
 
-    void
+    bool
     absorbNextArrival() override
     {
         BF_ASSERT(!future_.empty());
-        engine_.validateRequest(future_.top(), cap_);
-        queue_.push_back(future_.top());
-        future_.pop();
+        return admit_();
     }
 
     double batchLatencyUs(const std::string &network,
                           unsigned samples) override
     {
-        return engine_.cheapestFreeLatencyUs(network, samples, now_);
+        return engine_.cheapestFreeLatencyUs(
+            engine_.networkId(network), samples, now_);
     }
 
     unsigned maxBatch() const override { return cap_; }
@@ -480,6 +563,11 @@ class ServingEngine::LoopContext : public SchedulerContext
 
     /** The engine advances this to each plan's virtual time. */
     void setNow(double now) { now_ = now; }
+    /** runLoop's admission gate (pops the top future arrival). */
+    void setAdmit(std::function<bool()> admit)
+    {
+        admit_ = std::move(admit);
+    }
 
   private:
     ServingEngine &engine_;
@@ -487,13 +575,14 @@ class ServingEngine::LoopContext : public SchedulerContext
     FutureQueue &future_;
     unsigned cap_;
     double now_ = 0.0;
+    std::function<bool()> admit_;
 };
 
-template <typename OnFinish>
+template <typename OnFinish, typename OnShed>
 ServeReport
 ServingEngine::runLoop(std::vector<InferenceRequest> initial,
                        const std::vector<std::string> &warmNetworks,
-                       OnFinish &&onFinish)
+                       OnFinish &&onFinish, OnShed &&onShed)
 {
     const unsigned cap = maxBatch();
     BF_ASSERT(cap > 0);
@@ -522,6 +611,10 @@ ServingEngine::runLoop(std::vector<InferenceRequest> initial,
     report.maxBatch = cap;
     report.maxWaitUs = opts_.maxWaitUs;
     report.sloBudgetUs = opts_.sloBudgetUs;
+    report.admissionControl =
+        opts_.maxQueueDepth > 0 || opts_.shedUnmeetable;
+    report.streamingStats = opts_.streamingStats;
+    report.activeWindow = opts_.activeWindowStats;
 
     FutureQueue future(ArrivalAfter{}, std::move(initial));
     std::deque<InferenceRequest> queue;
@@ -532,12 +625,48 @@ ServingEngine::runLoop(std::vector<InferenceRequest> initial,
     }
     LoopContext ctx(*this, queue, future, cap);
 
-    const auto absorb = [&](double now) {
-        while (!future.empty() && future.top().arrivalUs <= now) {
-            validateRequest(future.top(), cap);
-            queue.push_back(future.top());
-            future.pop();
+    double firstArrival = std::numeric_limits<double>::infinity();
+
+    // Admission gate: pops the earliest future arrival and either
+    // enqueues it (true) or sheds it (false). Depth shedding bounds
+    // the pending queue; deadline shedding refuses a request whose
+    // earliest possible dispatch -- max(arrival, earliest replica
+    // free time) -- is already past its deadline, i.e. a guaranteed
+    // miss. Sheds are reported separately from misses, and the
+    // closed loop's onShed hands the shed client its next request.
+    const auto tryAdmit = [&]() -> bool {
+        InferenceRequest req = future.top();
+        future.pop();
+        validateRequest(req, cap);
+        firstArrival = std::min(firstArrival, req.arrivalUs);
+        bool depthShed = false;
+        bool deadlineShed = false;
+        if (opts_.maxQueueDepth > 0 &&
+            queue.size() >= opts_.maxQueueDepth) {
+            depthShed = true;
+        } else if (opts_.shedUnmeetable && req.deadlineUs > 0.0) {
+            deadlineShed =
+                std::max(req.arrivalUs, minFreeAtUs()) > req.deadlineUs;
         }
+        if (!depthShed && !deadlineShed) {
+            queue.push_back(std::move(req));
+            return true;
+        }
+        ++report.shedRequests;
+        report.shedByDepth += depthShed ? 1 : 0;
+        report.shedByDeadline += deadlineShed ? 1 : 0;
+        const double shedAt = std::max(req.arrivalUs, minFreeAtUs());
+        std::vector<InferenceRequest> replacements;
+        onShed(req, shedAt, replacements);
+        for (auto &r : replacements)
+            future.push(std::move(r));
+        return false;
+    };
+    ctx.setAdmit(tryAdmit);
+
+    const auto absorb = [&](double now) {
+        while (!future.empty() && future.top().arrivalUs <= now)
+            tryAdmit();
     };
 
     while (!queue.empty() || !future.empty()) {
@@ -553,9 +682,12 @@ ServingEngine::runLoop(std::vector<InferenceRequest> initial,
             now = std::max(now, future.top().arrivalUs);
         absorb(now);
         ctx.setNow(now);
+        if (queue.empty())
+            continue; // everything due was shed; advance the clock
 
         const BatchPlan plan = scheduler->plan(ctx, now);
         BF_ASSERT(!plan.members.empty());
+        const unsigned netId = networkId(plan.network);
         unsigned planSamples = 0;
         double dispatch = std::max(plan.dispatchUs, now);
         for (std::size_t i : plan.members) {
@@ -576,7 +708,7 @@ ServingEngine::runLoop(std::vector<InferenceRequest> initial,
             if (replicas_[r].freeAt > dispatch)
                 continue;
             const RunStats &candidate =
-                statsFor(replicas_[r].cls, plan.network, planSamples);
+                statsFor(replicas_[r].cls, netId, planSamples);
             const double lat = candidate.seconds() * 1e6;
             if (lat < chosenLat) {
                 chosenLat = lat;
@@ -586,7 +718,7 @@ ServingEngine::runLoop(std::vector<InferenceRequest> initial,
 
         // Dispatch: charge the chosen platform's simulated latency.
         Replica &replica = replicas_[chosen];
-        const RunStats &rs = statsFor(replica.cls, plan.network, planSamples);
+        const RunStats &rs = statsFor(replica.cls, netId, planSamples);
         const double latencyUs = rs.seconds() * 1e6;
         const double finish = dispatch + latencyUs;
         replica.freeAt = finish;
@@ -597,20 +729,20 @@ ServingEngine::runLoop(std::vector<InferenceRequest> initial,
         report.energyJ += rs.energy().totalJ();
         report.totalSamples += planSamples;
         report.makespanUs = std::max(report.makespanUs, finish);
-        BatchRecord batch;
-        batch.network = plan.network;
-        batch.samples = planSamples;
-        batch.requests = plan.members.size();
-        batch.dispatchUs = dispatch;
-        batch.latencyUs = latencyUs;
-        batch.replica = static_cast<unsigned>(chosen);
-        report.batches.push_back(std::move(batch));
+        report.batchCount += 1;
+        if (opts_.retainRecords) {
+            BatchRecord batch;
+            batch.network = plan.network;
+            batch.samples = planSamples;
+            batch.requests = plan.members.size();
+            batch.dispatchUs = dispatch;
+            batch.latencyUs = latencyUs;
+            batch.replica = static_cast<unsigned>(chosen);
+            report.batches.push_back(std::move(batch));
+        }
 
         std::vector<InferenceRequest> injected;
-        std::vector<char> member(queue.size(), 0);
         for (std::size_t i : plan.members) {
-            BF_ASSERT(!member[i]);
-            member[i] = 1;
             RequestRecord rec;
             rec.request = queue[i];
             rec.dispatchUs = dispatch;
@@ -621,32 +753,71 @@ ServingEngine::runLoop(std::vector<InferenceRequest> initial,
                                  dispatch > rec.request.deadlineUs;
             if (rec.deadlineMissed)
                 ++report.deadlineMisses;
+            report.requestCount += 1;
+            if (opts_.streamingStats) {
+                report.latencyStream.add(rec.latencyUs());
+                report.queueStream.add(rec.queueUs());
+            } else {
+                report.latencySamples.push_back(rec.latencyUs());
+                report.queueSamples.push_back(rec.queueUs());
+            }
             onFinish(rec, injected);
-            report.requests.push_back(std::move(rec));
+            if (opts_.retainRecords)
+                report.requests.push_back(std::move(rec));
         }
         for (auto &req : injected)
             future.push(std::move(req));
-        // Compact the queue in one stable pass.
-        std::deque<InferenceRequest> rest;
-        for (std::size_t i = 0; i < queue.size(); ++i) {
-            if (!member[i])
-                rest.push_back(std::move(queue[i]));
+
+        // Remove the dispatched members with one stable span erase:
+        // survivors inside [first, last] compact down, then the gap
+        // at the span's tail erases once. deque::erase shifts
+        // whichever side of the deque is smaller, so the common
+        // front-clustered FIFO batch costs O(members) amortized
+        // instead of the old rebuild-the-whole-deque O(queue).
+        std::vector<std::size_t> members = plan.members;
+        std::sort(members.begin(), members.end());
+        for (std::size_t m = 1; m < members.size(); ++m)
+            BF_ASSERT(members[m] != members[m - 1]);
+        const std::size_t first = members.front();
+        const std::size_t last = members.back();
+        if (last - first + 1 == members.size()) {
+            // Contiguous members: erase the span directly.
+            queue.erase(queue.begin() +
+                            static_cast<std::ptrdiff_t>(first),
+                        queue.begin() +
+                            static_cast<std::ptrdiff_t>(last + 1));
+        } else {
+            std::size_t write = first;
+            std::size_t next = 0;
+            for (std::size_t i = first; i <= last; ++i) {
+                if (next < members.size() && members[next] == i) {
+                    ++next;
+                    continue;
+                }
+                queue[write++] = std::move(queue[i]);
+            }
+            queue.erase(queue.begin() +
+                            static_cast<std::ptrdiff_t>(write),
+                        queue.begin() +
+                            static_cast<std::ptrdiff_t>(last + 1));
         }
-        queue.swap(rest);
     }
 
     std::stable_sort(report.requests.begin(), report.requests.end(),
                      [](const RequestRecord &a, const RequestRecord &b) {
                          return a.request.id < b.request.id;
                      });
+    report.firstArrivalUs =
+        std::isfinite(firstArrival) ? firstArrival : 0.0;
+    const double utilizationWindowUs = report.throughputWindowUs();
     for (const auto &replica : replicas_) {
         ReplicaUsage usage;
         usage.platform = classes_[replica.cls].spec.name;
         usage.batches = replica.batches;
         usage.samples = replica.samples;
         usage.busyUs = replica.busyUs;
-        usage.utilization = report.makespanUs > 0.0
-                                ? replica.busyUs / report.makespanUs
+        usage.utilization = utilizationWindowUs > 0.0
+                                ? replica.busyUs / utilizationWindowUs
                                 : 0.0;
         usage.energyJ = replica.energyJ;
         report.replicas.push_back(std::move(usage));
@@ -672,7 +843,9 @@ ServingEngine::run(const std::vector<InferenceRequest> &trace)
         networks.push_back(req.network);
     ServeReport report = runLoop(
         trace, networks,
-        [](const RequestRecord &, std::vector<InferenceRequest> &) {});
+        [](const RequestRecord &, std::vector<InferenceRequest> &) {},
+        [](const InferenceRequest &, double,
+           std::vector<InferenceRequest> &) {});
     report.mode = "open-loop";
     return report;
 }
@@ -684,6 +857,12 @@ ServingEngine::runClosedLoop(const ClosedLoopSpec &spec)
         BF_FATAL("closed loop needs at least one client");
     if (spec.samples == 0)
         BF_FATAL("closed loop needs at least one sample per request");
+    if (opts_.maxQueueDepth > 0) {
+        BF_FATAL("closed-loop runs cannot shed by queue depth: a "
+                 "shed client would reissue at the same instant and "
+                 "shed forever (use shedUnmeetable or an open-loop "
+                 "trace)");
+    }
 
     std::vector<std::string> networks = spec.networks;
     if (networks.empty()) {
@@ -713,14 +892,21 @@ ServingEngine::runClosedLoop(const ClosedLoopSpec &spec)
         initial.push_back(makeRequest(0.0));
 
     // Each completion hands its client the next request (arrival =
-    // completion time) until the quota is issued. The whole network
-    // mix prewarms, not just the starters' random draws.
+    // completion time) until the quota is issued; a shed hands the
+    // shed client its next request at the shed time the same way.
+    // The whole network mix prewarms, not just the starters' random
+    // draws.
     ServeReport report = runLoop(
         std::move(initial), networks,
         [&](const RequestRecord &rec,
             std::vector<InferenceRequest> &out) {
             if (issued < spec.requests)
                 out.push_back(makeRequest(rec.finishUs));
+        },
+        [&](const InferenceRequest &, double shedAtUs,
+            std::vector<InferenceRequest> &out) {
+            if (issued < spec.requests)
+                out.push_back(makeRequest(shedAtUs));
         });
     report.mode = "closed-loop";
     return report;

@@ -38,13 +38,15 @@
 #ifndef BITFUSION_SERVE_SERVING_ENGINE_H
 #define BITFUSION_SERVE_SERVING_ENGINE_H
 
+#include <cstddef>
 #include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
-#include <utility>
+#include <unordered_map>
 #include <vector>
 
+#include "src/common/streaming_stats.h"
 #include "src/core/platform_registry.h"
 #include "src/core/stats.h"
 #include "src/dnn/model_zoo.h"
@@ -89,6 +91,44 @@ struct ServeOptions
      * ArtifactCache::process() shared with the sweep runner.
      */
     ArtifactCache *cache = nullptr;
+    /**
+     * Summarize latencies with the constant-memory P-squared
+     * estimator instead of the exact nearest-rank percentiles; the
+     * million-request mode (docs/serving.md documents the error
+     * bounds). Off by default so small runs and the locked goldens
+     * keep the exact values.
+     */
+    bool streamingStats = false;
+    /**
+     * Keep the per-request RequestRecord (and per-batch BatchRecord)
+     * vectors on the report. On by default for the library API; the
+     * CLI ties it to --per-request so million-request runs do not
+     * hold O(requests) records.
+     */
+    bool retainRecords = true;
+    /**
+     * Admission control: shed an arriving request when the pending
+     * queue already holds this many requests (0 = unbounded). Not
+     * valid for closed-loop runs (a shed client would reissue at the
+     * same instant and shed forever).
+     */
+    std::size_t maxQueueDepth = 0;
+    /**
+     * Admission control: shed an arriving request whose dispatch
+     * deadline is already unmeetable -- the earliest any replica
+     * frees (the cheapest-dispatch oracle) is past its deadline --
+     * instead of queueing a guaranteed miss. Sheds are counted
+     * separately from deadline misses.
+     */
+    bool shedUnmeetable = false;
+    /**
+     * Measure throughput and replica utilization over the active
+     * window (first arrival to makespan) instead of from virtual
+     * time 0, which understates both for parsed traces whose first
+     * arrival is far from 0. Off by default so the locked goldens
+     * keep the virtual-time-0 definition.
+     */
+    bool activeWindowStats = false;
 };
 
 /** Closed-loop benchmark: clients with one outstanding request. */
@@ -187,15 +227,45 @@ struct ServeReport
     double maxWaitUs = 0.0;
     double sloBudgetUs = 0.0;
 
-    /** Served requests in id order. */
+    /**
+     * Served requests in id order; retained only when
+     * ServeOptions.retainRecords (the default) is on. requestCount
+     * always holds the served total.
+     */
     std::vector<RequestRecord> requests;
-    /** Dispatched batches in dispatch order. */
+    /** Dispatched batches in dispatch order (retainRecords only). */
     std::vector<BatchRecord> batches;
     /** Per-replica usage, in replica order. */
     std::vector<ReplicaUsage> replicas;
+    /** Served request count (independent of record retention). */
+    std::size_t requestCount = 0;
+    /** Dispatched batch count (independent of record retention). */
+    std::size_t batchCount = 0;
     /** Total samples served. */
     std::uint64_t totalSamples = 0;
     std::size_t deadlineMisses = 0;
+    /** Requests shed by admission control (never served). */
+    std::size_t shedRequests = 0;
+    /** Sheds charged to the queue-depth bound. */
+    std::size_t shedByDepth = 0;
+    /** Sheds charged to an unmeetable deadline at enqueue. */
+    std::size_t shedByDeadline = 0;
+    /** True when the run had admission control enabled. */
+    bool admissionControl = false;
+    /** True when latencies were summarized by the P2 estimator. */
+    bool streamingStats = false;
+    /** True when throughput uses the active-window definition. */
+    bool activeWindow = false;
+    /** Earliest request arrival the run observed. */
+    double firstArrivalUs = 0.0;
+    /** Exact-mode latency samples, in completion order. */
+    std::vector<double> latencySamples;
+    /** Exact-mode queueing samples, in completion order. */
+    std::vector<double> queueSamples;
+    /** Streaming-mode latency summary (streamingStats only). */
+    StreamingSummary latencyStream;
+    /** Streaming-mode queueing summary (streamingStats only). */
+    StreamingSummary queueStream;
     /** Virtual time of the last batch completion. */
     double makespanUs = 0.0;
     /** Summed simulated energy of every dispatched batch. */
@@ -209,6 +279,11 @@ struct ServeReport
 
     Percentiles latencyUs() const;
     Percentiles queueUs() const;
+    /**
+     * Wall the throughput ratios divide by: the active window when
+     * activeWindow is set, the whole virtual timeline otherwise.
+     */
+    double throughputWindowUs() const;
     double requestsPerSec() const;
     double samplesPerSec() const;
     /** Mean occupied fraction of the dispatched batches. */
@@ -275,8 +350,12 @@ class ServingEngine
         PlatformSpec spec;
         /** Built platform per batch size (batch binds at build). */
         std::map<unsigned, std::unique_ptr<Platform>> platforms;
-        /** Memoized simulation per (network, batch-size). */
-        std::map<std::pair<std::string, unsigned>, RunStats> memo;
+        /**
+         * Memoized simulation per (network id, batch-size): indexed
+         * by the interned network id, then keyed by batch, so the
+         * hot planning loop never builds a string key.
+         */
+        std::vector<std::map<unsigned, RunStats>> memo;
     };
 
     struct Replica
@@ -289,26 +368,33 @@ class ServingEngine
         double energyJ = 0.0;
     };
 
+    /** Interned id of a catalog network; fatal when unknown. */
+    unsigned networkId(const std::string &name) const;
     const zoo::Benchmark &benchmark(const std::string &name) const;
     const Network &variant(const zoo::Benchmark &bench,
                            const PlatformSpec &spec) const;
     const Platform &platformFor(std::size_t cls, unsigned batch);
-    const RunStats &statsFor(std::size_t cls, const std::string &network,
+    const RunStats &statsFor(std::size_t cls, unsigned netId,
                              unsigned batch);
     /** Min simulated latency over classes with a free replica. */
-    double cheapestFreeLatencyUs(const std::string &network,
-                                 unsigned batch, double now);
+    double cheapestFreeLatencyUs(unsigned netId, unsigned batch,
+                                 double now);
+    /** Earliest virtual time any replica frees up. */
+    double minFreeAtUs() const;
     std::size_t memoSize() const;
     std::string fleetName() const;
     void validateRequest(const InferenceRequest &req, unsigned cap) const;
     void precompile(const std::vector<std::string> &networks);
-    template <typename OnFinish>
+    void internCatalog();
+    template <typename OnFinish, typename OnShed>
     ServeReport runLoop(std::vector<InferenceRequest> initial,
                         const std::vector<std::string> &warmNetworks,
-                        OnFinish &&onFinish);
+                        OnFinish &&onFinish, OnShed &&onShed);
 
     ServeOptions opts_;
     std::vector<zoo::Benchmark> catalog_;
+    /** Catalog name -> dense id (index into catalog_ and memo). */
+    std::unordered_map<std::string, unsigned> networkIds_;
     ArtifactCache *cache_;
     std::vector<PlatformClass> classes_;
     std::vector<Replica> replicas_;

@@ -41,6 +41,20 @@ struct InferenceRequest
     double deadlineUs = 0.0;
 };
 
+/**
+ * Arrival-process selector for the synthetic generator. Poisson is
+ * the legacy constant-rate stream (byte-identical to every earlier
+ * release for a fixed seed); Mmpp is a two-state Markov-modulated
+ * Poisson process whose state flips at seeded exponential dwell
+ * times. Both compose with the diurnal envelope and the flash-crowd
+ * window below.
+ */
+enum class ArrivalProcess
+{
+    Poisson,
+    Mmpp,
+};
+
 /** Parameters of the synthetic open-loop arrival process. */
 struct TraceSpec
 {
@@ -59,6 +73,37 @@ struct TraceSpec
     double deadlineSlackUs = 0.0;
     /** Network mix, uniformly sampled; empty = the eight-paper zoo. */
     std::vector<std::string> networks;
+
+    /** Arrival process; Poisson preserves the legacy stream. */
+    ArrivalProcess process = ArrivalProcess::Poisson;
+    /**
+     * MMPP burst state: the arrival rate is multiplied by
+     * burstRateMultiplier while the chain is bursting; the chain
+     * dwells an exponential time with the given means in each state
+     * (both must be positive when process == Mmpp). The chain starts
+     * calm at time 0.
+     */
+    double burstRateMultiplier = 8.0;
+    double meanBurstUs = 20000.0;
+    double meanCalmUs = 200000.0;
+    /**
+     * Diurnal envelope: the rate is modulated by
+     * 1 + amplitude * sin(2*pi * t / period). 0 period disables it;
+     * amplitude must lie in [0, 1) so the rate stays positive.
+     */
+    double diurnalPeriodUs = 0.0;
+    double diurnalAmplitude = 0.0;
+    /**
+     * Flash crowd: the rate is multiplied by flashMultiplier inside
+     * [flashStartUs, flashStartUs + flashDurationUs). 0 duration
+     * disables it.
+     */
+    double flashStartUs = 0.0;
+    double flashDurationUs = 0.0;
+    double flashMultiplier = 1.0;
+
+    /** True when any burst feature deviates from plain Poisson. */
+    bool bursty() const;
 };
 
 /** Generate the deterministic synthetic trace @p spec describes. */

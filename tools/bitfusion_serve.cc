@@ -48,11 +48,17 @@ usage(const char *argv0)
         "  open loop (default): [--requests N] [--seed S]\n"
         "      [--mean-gap-us G] [--req-samples MAX] [--deadline-us D]\n"
         "      [--networks A,B,...] [--trace PATH] [--dump-trace PATH]\n"
+        "  arrivals: [--arrival poisson|mmpp] [--mmpp-burst-x M]\n"
+        "      [--mmpp-burst-us T] [--mmpp-calm-us T]\n"
+        "      [--diurnal-period-us P --diurnal-amplitude A]\n"
+        "      [--flash-at-us T --flash-for-us T --flash-x M]\n"
         "  closed loop: --closed-loop CLIENTS [--requests N]\n"
         "      [--samples PER_REQUEST] [--seed S] [--deadline-us D]\n"
         "      [--networks A,B,...]\n"
         "  batching: [--max-batch B] [--max-wait-us W]\n"
+        "  admission: [--max-queue-depth N] [--shed-unmeetable]\n"
         "  output: [--json PATH] [--per-request] [--threads N]\n"
+        "      [--streaming-stats] [--active-window]\n"
         "  registries: [--list-platforms] [--list-schedulers]\n",
         argv0, schedulerNames().c_str());
     return 2;
@@ -119,18 +125,31 @@ printReport(const ServeReport &report)
     }
     std::printf("requests: %zu (%llu samples) in %.1f ms of virtual "
                 "time\n",
-                report.requests.size(),
+                report.requestCount,
                 static_cast<unsigned long long>(report.totalSamples),
                 report.makespanUs / 1000.0);
     std::printf("batches:  %zu dispatched, mean fill %.1f%%, %zu "
                 "distinct (network, batch) shapes\n",
-                report.batches.size(), 100.0 * report.batchFill(),
+                report.batchCount, 100.0 * report.batchFill(),
                 report.distinctBatchShapes);
-    std::printf("throughput: %.1f requests/s, %.1f samples/s\n\n",
-                report.requestsPerSec(), report.samplesPerSec());
-    printPercentiles("latency (us):", report.latencyUs());
-    printPercentiles("queue   (us):", report.queueUs());
+    std::printf("throughput: %.1f requests/s, %.1f samples/s%s\n\n",
+                report.requestsPerSec(), report.samplesPerSec(),
+                report.activeWindow ? " (active window)" : "");
+    printPercentiles(report.streamingStats ? "latency (us)*"
+                                           : "latency (us):",
+                     report.latencyUs());
+    printPercentiles(report.streamingStats ? "queue   (us)*"
+                                           : "queue   (us):",
+                     report.queueUs());
+    if (report.streamingStats)
+        std::printf("  (* p50/p95/p99 are streaming P2 estimates)\n");
     std::printf("\ndeadline misses: %zu\n", report.deadlineMisses);
+    if (report.admissionControl) {
+        std::printf("shed: %zu (%zu by queue depth, %zu by "
+                    "unmeetable deadline)\n",
+                    report.shedRequests, report.shedByDepth,
+                    report.shedByDeadline);
+    }
     if (report.fleetReport()) {
         std::printf("replicas:\n");
         for (std::size_t r = 0; r < report.replicas.size(); ++r) {
@@ -173,6 +192,7 @@ main(int argc, char **argv)
     bool fleetGiven = false;
     bool replicasGiven = false;
     std::string openOnlyFlag, closedOnlyFlag, generatorFlag;
+    std::string mmppKnob, flashKnob;
 
     // Time-valued flags accept fractions; counts and seeds must be
     // exact integers (a seed routed through a double would silently
@@ -233,6 +253,71 @@ main(int argc, char **argv)
             traceSpec.networks = splitList(argv[++i]);
             closedSpec.networks = traceSpec.networks;
             generatorFlag = arg;
+        } else if (arg == "--arrival" && i + 1 < argc) {
+            const std::string process = argv[++i];
+            if (process == "poisson") {
+                traceSpec.process = ArrivalProcess::Poisson;
+            } else if (process == "mmpp") {
+                traceSpec.process = ArrivalProcess::Mmpp;
+            } else {
+                std::fprintf(stderr,
+                             "--arrival must be poisson or mmpp, "
+                             "got '%s'\n",
+                             process.c_str());
+                return 2;
+            }
+            openOnlyFlag = arg;
+            generatorFlag = arg;
+        } else if (arg == "--mmpp-burst-x") {
+            traceSpec.burstRateMultiplier = numArg(i, "--mmpp-burst-x");
+            mmppKnob = arg;
+            openOnlyFlag = arg;
+            generatorFlag = arg;
+        } else if (arg == "--mmpp-burst-us") {
+            traceSpec.meanBurstUs = numArg(i, "--mmpp-burst-us");
+            mmppKnob = arg;
+            openOnlyFlag = arg;
+            generatorFlag = arg;
+        } else if (arg == "--mmpp-calm-us") {
+            traceSpec.meanCalmUs = numArg(i, "--mmpp-calm-us");
+            mmppKnob = arg;
+            openOnlyFlag = arg;
+            generatorFlag = arg;
+        } else if (arg == "--diurnal-period-us") {
+            traceSpec.diurnalPeriodUs =
+                numArg(i, "--diurnal-period-us");
+            openOnlyFlag = arg;
+            generatorFlag = arg;
+        } else if (arg == "--diurnal-amplitude") {
+            traceSpec.diurnalAmplitude =
+                numArg(i, "--diurnal-amplitude");
+            openOnlyFlag = arg;
+            generatorFlag = arg;
+        } else if (arg == "--flash-at-us") {
+            traceSpec.flashStartUs = numArg(i, "--flash-at-us");
+            flashKnob = arg;
+            openOnlyFlag = arg;
+            generatorFlag = arg;
+        } else if (arg == "--flash-for-us") {
+            traceSpec.flashDurationUs = numArg(i, "--flash-for-us");
+            flashKnob = arg;
+            openOnlyFlag = arg;
+            generatorFlag = arg;
+        } else if (arg == "--flash-x") {
+            traceSpec.flashMultiplier = numArg(i, "--flash-x");
+            flashKnob = arg;
+            openOnlyFlag = arg;
+            generatorFlag = arg;
+        } else if (arg == "--max-queue-depth") {
+            options.maxQueueDepth =
+                static_cast<std::size_t>(intArg(i, "--max-queue-depth"));
+            openOnlyFlag = arg;
+        } else if (arg == "--shed-unmeetable") {
+            options.shedUnmeetable = true;
+        } else if (arg == "--streaming-stats") {
+            options.streamingStats = true;
+        } else if (arg == "--active-window") {
+            options.activeWindowStats = true;
         } else if (arg == "--max-batch") {
             options.maxBatch = int32Arg(i, "--max-batch");
         } else if (arg == "--max-wait-us") {
@@ -302,6 +387,34 @@ main(int argc, char **argv)
         std::fprintf(stderr, "--replicas must be at least 1\n");
         return 2;
     }
+    // Burst-process knobs that the selected process would silently
+    // ignore are rejected the same way mode-mismatched flags are.
+    if (!mmppKnob.empty() &&
+        traceSpec.process != ArrivalProcess::Mmpp) {
+        std::fprintf(stderr, "%s only applies with --arrival mmpp\n",
+                     mmppKnob.c_str());
+        return 2;
+    }
+    if ((traceSpec.diurnalPeriodUs > 0.0) !=
+        (traceSpec.diurnalAmplitude > 0.0)) {
+        std::fprintf(stderr,
+                     "the diurnal envelope needs both "
+                     "--diurnal-period-us and --diurnal-amplitude\n");
+        return 2;
+    }
+    if (!flashKnob.empty() && traceSpec.flashDurationUs <= 0.0) {
+        std::fprintf(stderr,
+                     "the flash crowd needs a positive window "
+                     "(--flash-for-us)\n");
+        return 2;
+    }
+    if (traceSpec.flashDurationUs > 0.0 &&
+        traceSpec.flashMultiplier <= 1.0) {
+        std::fprintf(stderr,
+                     "the flash crowd needs a multiplier above 1 "
+                     "(--flash-x)\n");
+        return 2;
+    }
     // Mis-paired scheduler knobs would silently change the policy
     // under the benchmark; fail fast instead.
     if (options.scheduler == "slo" && options.sloBudgetUs <= 0.0) {
@@ -330,6 +443,11 @@ main(int argc, char **argv)
                      options.scheduler.c_str());
         return 2;
     }
+
+    // Per-request records exist to be dumped; holding them for a
+    // million-request run nobody asked to inspect wastes O(requests)
+    // memory, so retention follows --per-request.
+    options.retainRecords = perRequest;
 
     std::vector<PlatformSpec> fleet;
     if (fleetGiven) {
