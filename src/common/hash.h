@@ -1,0 +1,129 @@
+/**
+ * @file
+ * XXH64: the 64-bit xxHash checksum, self-contained.
+ *
+ * The persistent artifact store (src/core/artifact_store.h) frames
+ * every record with a trailing checksum so truncation and bit rot are
+ * detected before a payload ever reaches a deserializer. xxHash is
+ * the standard pick for this job -- non-cryptographic, a few bytes
+ * per cycle, excellent avalanche -- and the reference algorithm is
+ * small enough to carry inline rather than grow a dependency.
+ *
+ * This is the canonical XXH64 round structure (seed + four lanes over
+ * 32-byte stripes, merge, tail, avalanche). Multi-byte reads are
+ * native-endian: the store's frame carries an endianness tag and
+ * rejects foreign-endian files before any checksum comparison, so
+ * hashes never need to match across byte orders.
+ */
+
+#ifndef BITFUSION_COMMON_HASH_H
+#define BITFUSION_COMMON_HASH_H
+
+#include <cstdint>
+#include <cstring>
+
+namespace bitfusion {
+
+namespace hash_detail {
+
+constexpr std::uint64_t kPrime1 = 11400714785074694791ULL;
+constexpr std::uint64_t kPrime2 = 14029467366897019727ULL;
+constexpr std::uint64_t kPrime3 = 1609587929392839161ULL;
+constexpr std::uint64_t kPrime4 = 9650029242287828579ULL;
+constexpr std::uint64_t kPrime5 = 2870177450012600261ULL;
+
+inline std::uint64_t
+rotl(std::uint64_t x, unsigned r)
+{
+    return (x << r) | (x >> (64 - r));
+}
+
+inline std::uint64_t
+read64(const unsigned char *p)
+{
+    std::uint64_t v;
+    std::memcpy(&v, p, sizeof v);
+    return v;
+}
+
+inline std::uint32_t
+read32(const unsigned char *p)
+{
+    std::uint32_t v;
+    std::memcpy(&v, p, sizeof v);
+    return v;
+}
+
+inline std::uint64_t
+round(std::uint64_t acc, std::uint64_t input)
+{
+    return rotl(acc + input * kPrime2, 31) * kPrime1;
+}
+
+inline std::uint64_t
+mergeRound(std::uint64_t h, std::uint64_t v)
+{
+    h ^= round(0, v);
+    return h * kPrime1 + kPrime4;
+}
+
+} // namespace hash_detail
+
+/** XXH64 of @p len bytes at @p data. */
+inline std::uint64_t
+xxhash64(const void *data, std::size_t len, std::uint64_t seed = 0)
+{
+    using namespace hash_detail;
+    const auto *p = static_cast<const unsigned char *>(data);
+    const unsigned char *const end = p + len;
+    std::uint64_t h;
+
+    if (len >= 32) {
+        std::uint64_t v1 = seed + kPrime1 + kPrime2;
+        std::uint64_t v2 = seed + kPrime2;
+        std::uint64_t v3 = seed;
+        std::uint64_t v4 = seed - kPrime1;
+        do {
+            v1 = round(v1, read64(p));
+            v2 = round(v2, read64(p + 8));
+            v3 = round(v3, read64(p + 16));
+            v4 = round(v4, read64(p + 24));
+            p += 32;
+        } while (p + 32 <= end);
+        h = rotl(v1, 1) + rotl(v2, 7) + rotl(v3, 12) + rotl(v4, 18);
+        h = mergeRound(h, v1);
+        h = mergeRound(h, v2);
+        h = mergeRound(h, v3);
+        h = mergeRound(h, v4);
+    } else {
+        h = seed + kPrime5;
+    }
+
+    h += static_cast<std::uint64_t>(len);
+    while (p + 8 <= end) {
+        h ^= round(0, read64(p));
+        h = rotl(h, 27) * kPrime1 + kPrime4;
+        p += 8;
+    }
+    if (p + 4 <= end) {
+        h ^= static_cast<std::uint64_t>(read32(p)) * kPrime1;
+        h = rotl(h, 23) * kPrime2 + kPrime3;
+        p += 4;
+    }
+    while (p < end) {
+        h ^= static_cast<std::uint64_t>(*p) * kPrime5;
+        h = rotl(h, 11) * kPrime1;
+        ++p;
+    }
+
+    h ^= h >> 33;
+    h *= kPrime2;
+    h ^= h >> 29;
+    h *= kPrime3;
+    h ^= h >> 32;
+    return h;
+}
+
+} // namespace bitfusion
+
+#endif // BITFUSION_COMMON_HASH_H

@@ -1,0 +1,264 @@
+#include "src/core/artifact_store.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <utility>
+
+#include "src/common/hash.h"
+#include "src/common/logging.h"
+
+namespace fs = std::filesystem;
+
+namespace bitfusion {
+
+namespace {
+
+constexpr char kMagic[4] = {'B', 'F', 'A', 'S'};
+/** magic + version + endian + keyLen. */
+constexpr std::size_t kHeaderBytes = 4 + 4 + 4 + 4;
+constexpr std::size_t kChecksumBytes = 8;
+
+void
+appendU32(std::string &out, std::uint32_t v)
+{
+    out.append(reinterpret_cast<const char *>(&v), sizeof v);
+}
+
+void
+appendU64(std::string &out, std::uint64_t v)
+{
+    out.append(reinterpret_cast<const char *>(&v), sizeof v);
+}
+
+std::uint32_t
+readU32(const char *p)
+{
+    std::uint32_t v;
+    std::memcpy(&v, p, sizeof v);
+    return v;
+}
+
+std::uint64_t
+readU64(const char *p)
+{
+    std::uint64_t v;
+    std::memcpy(&v, p, sizeof v);
+    return v;
+}
+
+/**
+ * Frame verifier: returns the payload, or a rejection reason via
+ * @p why. Check order matters for diagnostics: structural and
+ * version checks identify *why* a record is unusable before the
+ * checksum condemns it as generally corrupt.
+ */
+std::optional<std::string>
+verifyFrame(const std::string &frame, const std::string &key,
+            const char **why)
+{
+    if (frame.size() < kHeaderBytes + 8 + kChecksumBytes) {
+        *why = "truncated header";
+        return std::nullopt;
+    }
+    if (std::memcmp(frame.data(), kMagic, sizeof kMagic) != 0) {
+        *why = "bad magic";
+        return std::nullopt;
+    }
+    if (readU32(frame.data() + 8) != ArtifactStore::kEndianTag) {
+        *why = "foreign endianness";
+        return std::nullopt;
+    }
+    if (readU32(frame.data() + 4) != ArtifactStore::kFormatVersion) {
+        *why = "format version mismatch";
+        return std::nullopt;
+    }
+    const std::uint64_t keyLen = readU32(frame.data() + 12);
+    if (frame.size() < kHeaderBytes + keyLen + 8 + kChecksumBytes) {
+        *why = "truncated key";
+        return std::nullopt;
+    }
+    const std::uint64_t payloadLen =
+        readU64(frame.data() + kHeaderBytes + keyLen);
+    const std::uint64_t expected =
+        kHeaderBytes + keyLen + 8 + payloadLen + kChecksumBytes;
+    if (frame.size() != expected) {
+        *why = "framed length mismatch";
+        return std::nullopt;
+    }
+    const std::size_t hashed = frame.size() - kChecksumBytes;
+    if (xxhash64(frame.data(), hashed) !=
+        readU64(frame.data() + hashed)) {
+        *why = "checksum mismatch";
+        return std::nullopt;
+    }
+    if (keyLen != key.size() ||
+        std::memcmp(frame.data() + kHeaderBytes, key.data(),
+                    keyLen) != 0) {
+        *why = "key mismatch (filename-hash collision)";
+        return std::nullopt;
+    }
+    return frame.substr(kHeaderBytes + keyLen + 8,
+                        static_cast<std::size_t>(payloadLen));
+}
+
+std::string
+frameRecord(const std::string &key, const std::string &payload)
+{
+    std::string frame;
+    frame.reserve(kHeaderBytes + key.size() + 8 + payload.size() +
+                  kChecksumBytes);
+    frame.append(kMagic, sizeof kMagic);
+    appendU32(frame, ArtifactStore::kFormatVersion);
+    appendU32(frame, ArtifactStore::kEndianTag);
+    appendU32(frame, static_cast<std::uint32_t>(key.size()));
+    frame.append(key);
+    appendU64(frame, payload.size());
+    frame.append(payload);
+    appendU64(frame, xxhash64(frame.data(), frame.size()));
+    return frame;
+}
+
+std::string &
+processRootOverride()
+{
+    static std::string root;
+    return root;
+}
+
+std::atomic<bool> &
+processMaterialized()
+{
+    static std::atomic<bool> flag{false};
+    return flag;
+}
+
+} // namespace
+
+ArtifactStore::ArtifactStore(std::string root)
+    : root_(std::move(root))
+{
+    std::error_code ec;
+    fs::create_directories(root_, ec);
+    if (ec || !fs::is_directory(root_))
+        BF_FATAL("cannot create artifact store root '", root_, "': ",
+                 ec.message());
+}
+
+std::string
+ArtifactStore::pathFor(const std::string &key) const
+{
+    char name[32];
+    std::snprintf(name, sizeof name, "%016llx.bfa",
+                  static_cast<unsigned long long>(
+                      xxhash64(key.data(), key.size())));
+    return root_ + '/' + name;
+}
+
+std::optional<std::string>
+ArtifactStore::load(const std::string &key) const
+{
+    const std::string path = pathFor(key);
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.misses;
+        return std::nullopt;
+    }
+    std::string frame((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    if (!in.good() && !in.eof()) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.misses;
+        return std::nullopt;
+    }
+
+    const char *why = "unknown";
+    std::optional<std::string> payload = verifyFrame(frame, key, &why);
+    if (!payload) {
+        BF_WARN("artifact store: rejecting '", path, "': ", why,
+                "; falling back to recompile");
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.corrupt;
+        return std::nullopt;
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.hits;
+    return payload;
+}
+
+bool
+ArtifactStore::publish(const std::string &key,
+                       const std::string &payload) const
+{
+    static std::atomic<std::uint64_t> sequence{0};
+    const std::string path = pathFor(key);
+    const std::string tmp =
+        path + '.' + std::to_string(::getpid()) + '.' +
+        std::to_string(sequence.fetch_add(1)) + ".tmp";
+
+    const std::string frame = frameRecord(key, payload);
+    bool written = false;
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        written = out.write(frame.data(),
+                            static_cast<std::streamsize>(frame.size()))
+                      .good();
+        out.close();
+        written = written && out.good();
+    }
+    std::error_code ec;
+    if (written)
+        fs::rename(tmp, path, ec);
+    if (!written || ec) {
+        fs::remove(tmp, ec);
+        BF_WARN("artifact store: cannot publish '", path,
+                "'; continuing without persistence");
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.publishFailures;
+        return false;
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.publishes;
+    return true;
+}
+
+ArtifactStore::Stats
+ArtifactStore::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+ArtifactStore *
+ArtifactStore::process()
+{
+    static std::unique_ptr<ArtifactStore> store = [] {
+        processMaterialized().store(true);
+        std::string root = processRootOverride();
+        if (root.empty()) {
+            if (const char *env = std::getenv("BITFUSION_STORE"))
+                root = env;
+        }
+        return root.empty() ? std::unique_ptr<ArtifactStore>()
+                            : std::make_unique<ArtifactStore>(root);
+    }();
+    return store.get();
+}
+
+void
+ArtifactStore::setProcessRoot(const std::string &root)
+{
+    if (processMaterialized().load())
+        BF_FATAL("--store must be set before the artifact store is "
+                 "first used");
+    processRootOverride() = root;
+}
+
+} // namespace bitfusion

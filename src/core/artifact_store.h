@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Persistent, content-addressed store for compiled artifacts.
+ *
+ * The process-level ArtifactCache (artifact_cache.h) dies with the
+ * process, so every CLI invocation and CI job used to pay the full
+ * compile tax again. This store persists serialized artifacts --
+ * compiled networks and lowered execution plans (src/isa/
+ * plan_serde.h) -- under a root directory, keyed by the same logical
+ * identity the cache uses (compileKey() + network fingerprint, or
+ * ExecPlan::blockKey) plus the serde format version.
+ *
+ * On-disk format, one file per key, named by the XXH64 of the key:
+ *
+ *   magic "BFAS" | u32 formatVersion | u32 endianTag | u32 keyLen |
+ *   key bytes | u64 payloadLen | payload bytes | u64 xxhash64
+ *
+ * where the trailing hash covers everything before it. load()
+ * verifies, in order: magic, endianness tag, format version, exact
+ * framed length, checksum, and finally that the echoed key matches
+ * the request (a filename-hash collision reads as a miss, never as
+ * the wrong artifact). Any failure is counted, logged, and treated
+ * as a miss -- the caller recompiles; the store never deletes or
+ * rewrites a file it did not just create.
+ *
+ * Concurrency: lookups are plain reads of immutable published files
+ * (no locks, safe across threads AND processes). publish() writes to
+ * a unique "*.tmp" sibling and moves it into place with rename(),
+ * which is atomic on POSIX -- readers see either no file or a
+ * complete record. Racing writers are benign: serialization is
+ * deterministic, so both publish byte-identical records and the
+ * second rename simply replaces equal bytes.
+ */
+
+#ifndef BITFUSION_CORE_ARTIFACT_STORE_H
+#define BITFUSION_CORE_ARTIFACT_STORE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+
+namespace bitfusion {
+
+/** Disk-backed artifact record store; see file docs. */
+class ArtifactStore
+{
+  public:
+    /** Frame format version; bump on any frame-layout change. */
+    static constexpr std::uint32_t kFormatVersion = 1;
+    /** Native-endianness marker written into every frame. */
+    static constexpr std::uint32_t kEndianTag = 0x01020304;
+
+    /**
+     * Open (creating if needed) a store rooted at @p root. Fatal when
+     * the directory cannot be created -- a configured-but-unusable
+     * store is a user error, not a condition to limp through.
+     */
+    explicit ArtifactStore(std::string root);
+
+    ArtifactStore(const ArtifactStore &) = delete;
+    ArtifactStore &operator=(const ArtifactStore &) = delete;
+
+    const std::string &root() const { return root_; }
+
+    /**
+     * Fetch the payload published under @p key. Returns nullopt on
+     * absence or on any verification failure (counted separately;
+     * see Stats). Never throws, never deletes.
+     */
+    std::optional<std::string> load(const std::string &key) const;
+
+    /**
+     * Atomically publish @p payload under @p key (temp file +
+     * rename). Returns false -- after logging and cleaning up its
+     * own temp file -- when the filesystem refuses; a store that
+     * cannot persist degrades to recompiling, it never fails a run.
+     */
+    bool publish(const std::string &key,
+                 const std::string &payload) const;
+
+    /** Monotonic traffic counters. */
+    struct Stats
+    {
+        /** Records fetched and fully verified. */
+        std::size_t hits = 0;
+        /** Lookups of absent keys. */
+        std::size_t misses = 0;
+        /** Records rejected by frame verification. */
+        std::size_t corrupt = 0;
+        /** Records successfully published. */
+        std::size_t publishes = 0;
+        /** Publish attempts the filesystem refused. */
+        std::size_t publishFailures = 0;
+    };
+    Stats stats() const;
+
+    /**
+     * Filesystem path a record for @p key lives at (exposed so
+     * tests can inject corruption into real records).
+     */
+    std::string pathFor(const std::string &key) const;
+
+    /**
+     * The process-wide store, or nullptr when none is configured.
+     * Materialized on first call from setProcessRoot() or, failing
+     * that, the BITFUSION_STORE environment variable. The process
+     * ArtifactCache consults this on every miss, which is what gives
+     * every existing call site warm starts with zero changes.
+     */
+    static ArtifactStore *process();
+
+    /**
+     * Configure the process store root (the CLIs' --store flag).
+     * Must be called before the first process() use; fatal after.
+     */
+    static void setProcessRoot(const std::string &root);
+
+  private:
+    std::string root_;
+    mutable std::mutex mutex_;
+    mutable Stats stats_;
+};
+
+} // namespace bitfusion
+
+#endif // BITFUSION_CORE_ARTIFACT_STORE_H

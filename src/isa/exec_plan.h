@@ -162,6 +162,10 @@ class ExecPlan
   private:
     ExecPlan() = default;
 
+    /** Serialization (src/isa/plan_serde.cc) reads/writes the
+     *  private program representation directly. */
+    friend struct PlanSerde;
+
     /** One (loop depth, stride) address term. */
     struct AddrTerm
     {

@@ -1,0 +1,458 @@
+/**
+ * @file
+ * Binary serialization for blocks, compiled networks, and plans.
+ *
+ * Layout discipline: every write has a read in the same order, every
+ * variable-length field is length-prefixed, and every enum or index
+ * is range-checked on the way in so a checksum-valid but hostile
+ * payload still cannot build an out-of-bounds plan. See plan_serde.h
+ * for the contract.
+ */
+
+#include "src/isa/plan_serde.h"
+
+#include <utility>
+#include <vector>
+
+#include "src/isa/exec_kernels.h"
+#include "src/isa/exec_plan.h"
+
+namespace bitfusion {
+
+namespace {
+
+/** Payload type tags (first byte, before the version word). */
+constexpr std::uint8_t kBlockTag = 'B';
+constexpr std::uint8_t kNetworkTag = 'N';
+constexpr std::uint8_t kPlanTag = 'P';
+
+void
+writeTag(ByteWriter &out, std::uint8_t tag)
+{
+    out.u8(tag);
+    out.u32(kPlanSerdeVersion);
+}
+
+void
+checkTag(ByteReader &in, std::uint8_t tag, const char *what)
+{
+    if (in.u8() != tag)
+        throw SerdeError(std::string("payload is not a serialized ") +
+                         what);
+    const std::uint32_t version = in.u32();
+    if (version != kPlanSerdeVersion)
+        throw SerdeError("serde version mismatch: payload v" +
+                         std::to_string(version) + ", expected v" +
+                         std::to_string(kPlanSerdeVersion));
+}
+
+unsigned
+checkedBits(unsigned bits)
+{
+    switch (bits) {
+      case 1:
+      case 2:
+      case 4:
+      case 8:
+      case 16: return bits;
+      default: break;
+    }
+    throw SerdeError("unsupported operand bitwidth " +
+                     std::to_string(bits));
+}
+
+unsigned
+checkedShift(std::uint32_t shift)
+{
+    if (shift >= 64)
+        throw SerdeError("requantization shift " +
+                         std::to_string(shift) + " out of range");
+    return shift;
+}
+
+void
+writeConfig(ByteWriter &out, const FusionConfig &cfg)
+{
+    out.u8(static_cast<std::uint8_t>(cfg.aBits));
+    out.u8(static_cast<std::uint8_t>(cfg.wBits));
+    out.u8(cfg.aSigned ? 1 : 0);
+    out.u8(cfg.wSigned ? 1 : 0);
+}
+
+FusionConfig
+readConfig(ByteReader &in)
+{
+    FusionConfig cfg;
+    cfg.aBits = checkedBits(in.u8());
+    cfg.wBits = checkedBits(in.u8());
+    cfg.aSigned = in.u8() != 0;
+    cfg.wSigned = in.u8() != 0;
+    return cfg;
+}
+
+void
+writeLayer(ByteWriter &out, const Layer &layer)
+{
+    out.str(layer.name);
+    out.u8(static_cast<std::uint8_t>(layer.kind));
+    writeConfig(out, layer.bits);
+    const unsigned dims[] = {layer.inC, layer.inH,    layer.inW,
+                             layer.outC, layer.kH,    layer.kW,
+                             layer.stride, layer.pad, layer.groups};
+    for (unsigned d : dims)
+        out.u32(d);
+}
+
+Layer
+readLayer(ByteReader &in)
+{
+    Layer layer;
+    layer.name = in.str();
+    const std::uint8_t kind = in.u8();
+    if (kind > static_cast<std::uint8_t>(LayerKind::Lstm))
+        throw SerdeError("unknown layer kind " + std::to_string(kind));
+    layer.kind = static_cast<LayerKind>(kind);
+    layer.bits = readConfig(in);
+    unsigned *const dims[] = {&layer.inC, &layer.inH,    &layer.inW,
+                              &layer.outC, &layer.kH,    &layer.kW,
+                              &layer.stride, &layer.pad, &layer.groups};
+    for (unsigned *d : dims)
+        *d = in.u32();
+    return layer;
+}
+
+void
+writeSchedule(ByteWriter &out, const LayerSchedule &sched)
+{
+    writeLayer(out, sched.layer);
+    out.u8(sched.fusedActivation ? 1 : 0);
+    out.u8(sched.fusedPool ? 1 : 0);
+    out.u32(sched.outBits);
+    out.u64(sched.outElems);
+    out.u64(sched.m);
+    out.u64(sched.k);
+    out.u64(sched.n);
+    out.u64(sched.tile.mt);
+    out.u64(sched.tile.kt);
+    out.u64(sched.tile.nt);
+    out.u8(static_cast<std::uint8_t>(sched.order));
+    out.u8(sched.usesMacArray ? 1 : 0);
+    serializeBlock(out, sched.block);
+}
+
+LayerSchedule
+readSchedule(ByteReader &in)
+{
+    LayerSchedule sched;
+    sched.layer = readLayer(in);
+    sched.fusedActivation = in.u8() != 0;
+    sched.fusedPool = in.u8() != 0;
+    sched.outBits = in.u32();
+    sched.outElems = in.u64();
+    sched.m = in.u64();
+    sched.k = in.u64();
+    sched.n = in.u64();
+    sched.tile.mt = in.u64();
+    sched.tile.kt = in.u64();
+    sched.tile.nt = in.u64();
+    const std::uint8_t order = in.u8();
+    if (order > static_cast<std::uint8_t>(LoopOrder::WeightStationary))
+        throw SerdeError("unknown loop order " + std::to_string(order));
+    sched.order = static_cast<LoopOrder>(order);
+    sched.usesMacArray = in.u8() != 0;
+    sched.block = deserializeBlock(in);
+    return sched;
+}
+
+} // namespace
+
+void
+serializeBlock(ByteWriter &out, const InstructionBlock &block)
+{
+    writeTag(out, kBlockTag);
+    out.str(block.name);
+    writeConfig(out, block.config);
+    for (std::uint64_t base : block.baseAddr)
+        out.u64(base);
+    out.u32(block.actShift);
+    out.u32(block.actOutBits);
+    out.u32(static_cast<std::uint32_t>(block.instructions.size()));
+    for (const Instruction &inst : block.instructions) {
+        out.u8(static_cast<std::uint8_t>(inst.op));
+        out.u8(inst.id);
+        out.u8(inst.spec);
+        out.u16(inst.imm);
+        out.u32(inst.immHi);
+    }
+}
+
+InstructionBlock
+deserializeBlock(ByteReader &in)
+{
+    checkTag(in, kBlockTag, "instruction block");
+    InstructionBlock block;
+    block.name = in.str();
+    block.config = readConfig(in);
+    for (std::uint64_t &base : block.baseAddr)
+        base = in.u64();
+    block.actShift = checkedShift(in.u32());
+    block.actOutBits = in.u32();
+    const std::uint32_t count = in.u32();
+    block.instructions.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+        Instruction inst;
+        const std::uint8_t op = in.u8();
+        if (op > static_cast<std::uint8_t>(Opcode::BlockEnd))
+            throw SerdeError("unknown opcode " + std::to_string(op));
+        inst.op = static_cast<Opcode>(op);
+        inst.id = in.u8();
+        inst.spec = in.u8();
+        inst.imm = in.u16();
+        inst.immHi = in.u32();
+        block.instructions.push_back(inst);
+    }
+    return block;
+}
+
+std::string
+serializeCompiledNetwork(const CompiledNetwork &net)
+{
+    ByteWriter out;
+    writeTag(out, kNetworkTag);
+    out.str(net.networkName);
+    out.u32(net.batch);
+    out.u32(static_cast<std::uint32_t>(net.schedules.size()));
+    for (const LayerSchedule &sched : net.schedules)
+        writeSchedule(out, sched);
+    return out.take();
+}
+
+CompiledNetwork
+deserializeCompiledNetwork(const std::string &bytes)
+{
+    ByteReader in(bytes);
+    checkTag(in, kNetworkTag, "compiled network");
+    CompiledNetwork net;
+    net.networkName = in.str();
+    net.batch = in.u32();
+    const std::uint32_t count = in.u32();
+    net.schedules.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i)
+        net.schedules.push_back(readSchedule(in));
+    in.expectEnd();
+    return net;
+}
+
+/**
+ * Reads and writes ExecPlan's private program representation
+ * (friend of ExecPlan). All index validation happens here: loop
+ * depths against the iteration array, jump targets against the
+ * program length, address-term depths against the nest depth, fused
+ * dims against kMaxFusedDims.
+ */
+struct PlanSerde
+{
+    static void
+    writeExpr(ByteWriter &out, const ExecPlan::AddrExpr &expr)
+    {
+        out.u64(expr.base);
+        out.u64(expr.rowStride);
+        out.u32(static_cast<std::uint32_t>(expr.terms.size()));
+        for (const ExecPlan::AddrTerm &term : expr.terms) {
+            out.u32(term.depth);
+            out.u64(term.stride);
+        }
+    }
+
+    static ExecPlan::AddrExpr
+    readExpr(ByteReader &in, std::size_t depth)
+    {
+        ExecPlan::AddrExpr expr;
+        expr.base = in.u64();
+        expr.rowStride = in.u64();
+        const std::uint32_t count = in.u32();
+        expr.terms.reserve(count);
+        for (std::uint32_t i = 0; i < count; ++i) {
+            ExecPlan::AddrTerm term;
+            term.depth = in.u32();
+            if (term.depth >= depth)
+                throw SerdeError("address term depth out of range");
+            term.stride = in.u64();
+            expr.terms.push_back(term);
+        }
+        return expr;
+    }
+
+    static void
+    writeCode(ByteWriter &out,
+              const std::vector<ExecPlan::CodeOp> &code)
+    {
+        out.u32(static_cast<std::uint32_t>(code.size()));
+        for (const ExecPlan::CodeOp &op : code) {
+            out.u8(static_cast<std::uint8_t>(op.kind));
+            out.u8(op.buf);
+            out.u16(op.loop);
+            out.u32(op.target);
+            out.u64(op.imm);
+            out.u32(op.shift);
+            out.u32(op.outBits);
+            out.u8(op.activate ? 1 : 0);
+        }
+    }
+
+    static std::vector<ExecPlan::CodeOp>
+    readCode(ByteReader &in, std::size_t depth)
+    {
+        const std::uint32_t count = in.u32();
+        std::vector<ExecPlan::CodeOp> code;
+        code.reserve(count);
+        for (std::uint32_t i = 0; i < count; ++i) {
+            ExecPlan::CodeOp op;
+            const std::uint8_t kind = in.u8();
+            if (kind >= ExecPlan::kOpKindCount)
+                throw SerdeError("unknown plan op kind " +
+                                 std::to_string(kind));
+            op.kind = static_cast<ExecPlan::OpKind>(kind);
+            op.buf = in.u8();
+            if (op.buf >= 3)
+                throw SerdeError("buffer index out of range");
+            op.loop = in.u16();
+            op.target = in.u32();
+            op.imm = in.u64();
+            op.shift = checkedShift(in.u32());
+            op.outBits = in.u32();
+            op.activate = in.u8() != 0;
+            const bool isLoop =
+                op.kind == ExecPlan::OpKind::LoopHead ||
+                op.kind == ExecPlan::OpKind::LoopBack;
+            if (isLoop && op.loop >= depth)
+                throw SerdeError("loop index out of range");
+            if (isLoop && op.target >= count)
+                throw SerdeError("jump target out of range");
+            code.push_back(op);
+        }
+        return code;
+    }
+
+    static void
+    write(ByteWriter &out, const ExecPlan &plan)
+    {
+        writeTag(out, kPlanTag);
+        writeConfig(out, plan.config_);
+        out.u32(plan.actShift_);
+        out.u32(plan.actOutBits_);
+        out.u32(static_cast<std::uint32_t>(plan.iters_.size()));
+        for (std::uint64_t it : plan.iters_)
+            out.u64(it);
+        for (const auto &perBuffer : plan.exprs_)
+            for (const ExecPlan::AddrExpr &expr : perBuffer)
+                writeExpr(out, expr);
+        for (std::uint64_t size : plan.bufSize_)
+            out.u64(size);
+        out.u64(plan.maxRows_);
+        out.u64(plan.memExtent_);
+        writeCode(out, plan.code_);
+        writeCode(out, plan.fusedCode_);
+
+        const ExecPlan::FusedNest &nest = plan.fused_;
+        out.u32(nest.firstLoop);
+        out.u32(nest.dims);
+        out.u64(nest.total);
+        out.u64(nest.opsPerMac);
+        out.u64(nest.lastOffA);
+        out.u64(nest.lastOffW);
+        writeExpr(out, nest.aOuter);
+        writeExpr(out, nest.wOuter);
+        out.u32(nest.proto.dims);
+        for (std::uint64_t v : nest.proto.iters)
+            out.u64(v);
+        for (std::uint64_t v : nest.proto.aStride)
+            out.u64(v);
+        for (std::uint64_t v : nest.proto.wStride)
+            out.u64(v);
+        out.i64(nest.proto.aMin);
+        out.i64(nest.proto.aMax);
+        out.i64(nest.proto.wMin);
+        out.i64(nest.proto.wMax);
+        out.str(plan.kernelName_);
+    }
+
+    static std::shared_ptr<const ExecPlan>
+    read(ByteReader &in)
+    {
+        checkTag(in, kPlanTag, "execution plan");
+        std::shared_ptr<ExecPlan> plan(new ExecPlan);
+        plan->config_ = readConfig(in);
+        plan->actShift_ = checkedShift(in.u32());
+        plan->actOutBits_ = in.u32();
+        const std::uint32_t depth = in.u32();
+        plan->iters_.reserve(depth);
+        for (std::uint32_t i = 0; i < depth; ++i)
+            plan->iters_.push_back(in.u64());
+        for (auto &perBuffer : plan->exprs_)
+            for (ExecPlan::AddrExpr &expr : perBuffer)
+                expr = readExpr(in, depth);
+        for (std::uint64_t &size : plan->bufSize_)
+            size = in.u64();
+        plan->maxRows_ = in.u64();
+        plan->memExtent_ = in.u64();
+        plan->code_ = readCode(in, depth);
+        plan->fusedCode_ = readCode(in, depth);
+
+        ExecPlan::FusedNest &nest = plan->fused_;
+        nest.firstLoop = in.u32();
+        nest.dims = in.u32();
+        if (nest.dims > kMaxFusedDims)
+            throw SerdeError("fused nest too deep");
+        if (nest.dims > 0 &&
+            (nest.firstLoop > depth || nest.firstLoop + nest.dims > depth))
+            throw SerdeError("fused nest exceeds loop depth");
+        nest.total = in.u64();
+        nest.opsPerMac = in.u64();
+        nest.lastOffA = in.u64();
+        nest.lastOffW = in.u64();
+        nest.aOuter = readExpr(in, depth);
+        nest.wOuter = readExpr(in, depth);
+        nest.proto.dims = in.u32();
+        if (nest.proto.dims != nest.dims)
+            throw SerdeError("fused prototype dims mismatch");
+        for (std::uint64_t &v : nest.proto.iters)
+            v = in.u64();
+        for (std::uint64_t &v : nest.proto.aStride)
+            v = in.u64();
+        for (std::uint64_t &v : nest.proto.wStride)
+            v = in.u64();
+        nest.proto.aMin = in.i64();
+        nest.proto.aMax = in.i64();
+        nest.proto.wMin = in.i64();
+        nest.proto.wMax = in.i64();
+        plan->kernelName_ = in.str();
+        in.expectEnd();
+
+        // The two non-serialized members are pure functions of the
+        // config: the memo table (process-shared) and the fused
+        // kernel binding. Re-derive them exactly as build() does.
+        plan->memo_ = productTableFor(plan->config_);
+        nest.kernel = nest.dims > 0
+                          ? selectMacNestKernel(plan->config_)
+                          : nullptr;
+        return plan;
+    }
+};
+
+std::string
+serializePlan(const ExecPlan &plan)
+{
+    ByteWriter out;
+    PlanSerde::write(out, plan);
+    return out.take();
+}
+
+std::shared_ptr<const ExecPlan>
+deserializePlan(const std::string &bytes)
+{
+    ByteReader in(bytes);
+    return PlanSerde::read(in);
+}
+
+} // namespace bitfusion

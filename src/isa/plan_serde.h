@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Binary serialization for compiled artifacts: Fusion-ISA blocks,
+ * whole compiled networks, and lowered execution plans.
+ *
+ * This is the payload layer of the persistent artifact store
+ * (src/core/artifact_store.h): the store frames and checksums raw
+ * bytes; this file defines what those bytes mean. Three properties
+ * the store relies on:
+ *
+ *  - Determinism: serializing equal values yields identical bytes,
+ *    so concurrent processes that compile the same key publish
+ *    byte-identical records and their race is benign.
+ *  - Round-trip fidelity: deserialize(serialize(x)) reproduces every
+ *    field; for ExecPlan, serialize(deserialize(bytes)) == bytes.
+ *    The only state not carried in the bytes -- the memoized product
+ *    table and the fused-kernel function pointer -- is re-derived
+ *    from the plan's FusionConfig on load, which tests pin to be
+ *    bit-identical to a fresh lowering.
+ *  - Hostility tolerance: every read is bounds-checked and every
+ *    enum/index is range-checked; malformed input throws SerdeError
+ *    (never a crash, never a partial object), which the cache layer
+ *    treats as a miss and recompiles.
+ *
+ * Encodings are native-endian; the store's frame carries an
+ * endianness tag and rejects foreign files before any payload is
+ * parsed. kPlanSerdeVersion participates in store keys, so a format
+ * change simply stops matching old entries instead of misreading
+ * them; the per-payload tag is a second, independent guard.
+ */
+
+#ifndef BITFUSION_ISA_PLAN_SERDE_H
+#define BITFUSION_ISA_PLAN_SERDE_H
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "src/compiler/schedule.h"
+#include "src/isa/block.h"
+
+namespace bitfusion {
+
+class ExecPlan;
+
+/** Serialization format version; bump on any layout change. */
+constexpr std::uint32_t kPlanSerdeVersion = 1;
+
+/**
+ * Malformed serialized input. Deliberately an exception rather than
+ * a fatal: corrupt store entries are an expected environmental
+ * condition (torn writes, bit rot, version skew) and the correct
+ * response is a clean recompile, not process death.
+ */
+struct SerdeError : std::runtime_error
+{
+    explicit SerdeError(const std::string &what)
+        : std::runtime_error(what)
+    {
+    }
+};
+
+/** Append-only native-endian byte sink. */
+class ByteWriter
+{
+  public:
+    void u8(std::uint8_t v) { out_.push_back(static_cast<char>(v)); }
+
+    void u16(std::uint16_t v) { raw(&v, sizeof v); }
+    void u32(std::uint32_t v) { raw(&v, sizeof v); }
+    void u64(std::uint64_t v) { raw(&v, sizeof v); }
+
+    void
+    i64(std::int64_t v)
+    {
+        u64(static_cast<std::uint64_t>(v));
+    }
+
+    /** Length-prefixed string (u32 length + bytes). */
+    void
+    str(const std::string &s)
+    {
+        u32(static_cast<std::uint32_t>(s.size()));
+        out_.append(s);
+    }
+
+    void
+    raw(const void *data, std::size_t len)
+    {
+        out_.append(static_cast<const char *>(data), len);
+    }
+
+    const std::string &bytes() const { return out_; }
+    std::string take() { return std::move(out_); }
+
+  private:
+    std::string out_;
+};
+
+/**
+ * Bounds-checked native-endian byte source. Every accessor throws
+ * SerdeError instead of reading past the end.
+ */
+class ByteReader
+{
+  public:
+    explicit ByteReader(const std::string &bytes)
+        : p_(reinterpret_cast<const unsigned char *>(bytes.data())),
+          end_(p_ + bytes.size())
+    {
+    }
+
+    std::uint8_t
+    u8()
+    {
+        need(1);
+        return *p_++;
+    }
+
+    std::uint16_t u16() { return scalar<std::uint16_t>(); }
+    std::uint32_t u32() { return scalar<std::uint32_t>(); }
+    std::uint64_t u64() { return scalar<std::uint64_t>(); }
+
+    std::int64_t
+    i64()
+    {
+        return static_cast<std::int64_t>(u64());
+    }
+
+    std::string
+    str()
+    {
+        const std::uint32_t len = u32();
+        need(len);
+        std::string s(reinterpret_cast<const char *>(p_), len);
+        p_ += len;
+        return s;
+    }
+
+    bool atEnd() const { return p_ == end_; }
+
+    /** Reject payloads with trailing garbage. */
+    void
+    expectEnd() const
+    {
+        if (!atEnd())
+            throw SerdeError("trailing bytes after payload");
+    }
+
+  private:
+    template <typename T>
+    T
+    scalar()
+    {
+        need(sizeof(T));
+        T v;
+        std::memcpy(&v, p_, sizeof v);
+        p_ += sizeof v;
+        return v;
+    }
+
+    void
+    need(std::size_t n) const
+    {
+        if (static_cast<std::size_t>(end_ - p_) < n)
+            throw SerdeError("truncated payload");
+    }
+
+    const unsigned char *p_;
+    const unsigned char *end_;
+};
+
+/** Append @p block to @p out (nestable inside larger payloads). */
+void serializeBlock(ByteWriter &out, const InstructionBlock &block);
+
+/** Parse one block; throws SerdeError on malformed input. */
+InstructionBlock deserializeBlock(ByteReader &in);
+
+/** Standalone payload for a whole compiled network. */
+std::string serializeCompiledNetwork(const CompiledNetwork &net);
+
+/** Inverse of serializeCompiledNetwork; throws SerdeError. */
+CompiledNetwork deserializeCompiledNetwork(const std::string &bytes);
+
+/** Standalone payload for a lowered execution plan. */
+std::string serializePlan(const ExecPlan &plan);
+
+/**
+ * Inverse of serializePlan; throws SerdeError. The product-table
+ * memo and fused-kernel binding are re-derived from the plan's
+ * config, everything else comes from the bytes.
+ */
+std::shared_ptr<const ExecPlan> deserializePlan(const std::string &bytes);
+
+} // namespace bitfusion
+
+#endif // BITFUSION_ISA_PLAN_SERDE_H

@@ -1,0 +1,1213 @@
+/**
+ * @file
+ * Persistent artifact store: frame verification, corruption
+ * injection, serde round-trips, cross-cache/-thread/-process races,
+ * and golden byte-parity with store-less runs.
+ *
+ * The store (src/core/artifact_store.h) must never change an
+ * answer: a warm start has to reproduce the store-less run byte for
+ * byte (sweep JSON, serve reports, interpreter stats AND memory end
+ * state), any malformed record -- truncated, bit-flipped,
+ * zero-filled, version-bumped, endian-foreign -- must read as a miss
+ * that falls back to a clean recompile, and racing publishers
+ * (threads or processes) must leave exactly one valid record per
+ * key and no temp-file debris. Every suite here is prefixed Store so
+ * the TSan CI job can select the whole file with one filter.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/bitutils.h"
+#include "src/common/hash.h"
+#include "src/common/prng.h"
+#include "src/compiler/codegen.h"
+#include "src/core/artifact_cache.h"
+#include "src/core/artifact_store.h"
+#include "src/core/platform_registry.h"
+#include "src/dnn/model_zoo.h"
+#include "src/isa/exec_plan.h"
+#include "src/isa/interpreter.h"
+#include "src/isa/memory.h"
+#include "src/isa/plan_serde.h"
+#include "src/runner/figures.h"
+#include "src/runner/sweep.h"
+#include "src/serve/serving_engine.h"
+
+namespace bitfusion {
+namespace {
+
+namespace fs = std::filesystem;
+
+/** Unique store root under the system temp dir, removed on exit. */
+struct TempDir
+{
+    std::string path;
+
+    TempDir()
+    {
+        static std::atomic<unsigned> seq{0};
+        path = (fs::temp_directory_path() /
+                ("bitfusion-store-test." + std::to_string(::getpid()) +
+                 "." + std::to_string(seq.fetch_add(1))))
+                   .string();
+        std::error_code ec;
+        fs::remove_all(path, ec);
+    }
+
+    ~TempDir()
+    {
+        std::error_code ec;
+        fs::remove_all(path, ec);
+    }
+};
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.good()) << path;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+void
+writeFile(const std::string &path, const std::string &bytes)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out.good()) << path;
+    out.write(bytes.data(),
+              static_cast<std::streamsize>(bytes.size()));
+    ASSERT_TRUE(out.good()) << path;
+}
+
+std::size_t
+countFiles(const std::string &dir, const std::string &ext)
+{
+    std::size_t n = 0;
+    for (const auto &entry : fs::directory_iterator(dir))
+        if (entry.path().extension() == ext)
+            ++n;
+    return n;
+}
+
+/**
+ * Recompute the trailing checksum after a test mutated earlier frame
+ * bytes, so the mutation itself -- not the checksum -- is what the
+ * loader has to catch.
+ */
+void
+refreshChecksum(std::string &frame)
+{
+    ASSERT_GT(frame.size(), 8u);
+    const std::uint64_t sum = xxhash64(frame.data(), frame.size() - 8);
+    std::memcpy(&frame[frame.size() - 8], &sum, 8);
+}
+
+/** Small fc network with a nonempty compile step on bitfusion. */
+Network
+smallFcNet(const std::string &name = "store-net")
+{
+    return Network(name, {Layer::fc("fc1", 64, 32, zoo::cfg8x8()),
+                          Layer::fc("fc2", 32, 16, zoo::cfg4x4())});
+}
+
+const Platform &
+bitfusionPlatform()
+{
+    static const std::unique_ptr<Platform> platform =
+        PlatformRegistry::builtin().build(
+            PlatformRegistry::builtin().parse("bitfusion"));
+    return *platform;
+}
+
+AcceleratorConfig
+batch1Config()
+{
+    AcceleratorConfig cfg = AcceleratorConfig::eyerissMatched45();
+    cfg.batch = 1;
+    return cfg;
+}
+
+/** A compiler-emitted block to exercise the plan-serde path. */
+InstructionBlock
+smallFcBlock(const FusionConfig &cfg)
+{
+    const Compiler compiler(batch1Config());
+    const Layer layer = Layer::fc("f", 24, 10, cfg);
+    MemoryModel mem;
+    BlockBases bases;
+    bases.input = mem.allocate(layer.inputCount());
+    bases.weights = mem.allocate(layer.weightCount());
+    bases.output = mem.allocate(layer.outputCount());
+    return compiler.emitFc(layer, bases, 5, 8);
+}
+
+// ------------------------------------------------- frame round-trip
+
+TEST(StoreFrame, PublishThenLoadRoundTripsBinaryPayloads)
+{
+    TempDir dir;
+    ArtifactStore store(dir.path);
+    // Embedded NULs, high bytes, and an empty payload all round-trip.
+    const std::string payload("\x00\x01\xff with\nnewlines\x00", 18);
+    ASSERT_TRUE(store.publish("key-a", payload));
+    ASSERT_TRUE(store.publish("key-empty", ""));
+
+    const auto got = store.load("key-a");
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, payload);
+    const auto empty = store.load("key-empty");
+    ASSERT_TRUE(empty.has_value());
+    EXPECT_EQ(*empty, "");
+
+    EXPECT_FALSE(store.load("key-absent").has_value());
+
+    const auto st = store.stats();
+    EXPECT_EQ(st.publishes, 2u);
+    EXPECT_EQ(st.hits, 2u);
+    EXPECT_EQ(st.misses, 1u);
+    EXPECT_EQ(st.corrupt, 0u);
+    EXPECT_EQ(st.publishFailures, 0u);
+    EXPECT_EQ(countFiles(dir.path, ".bfa"), 2u);
+    EXPECT_EQ(countFiles(dir.path, ".tmp"), 0u);
+}
+
+TEST(StoreFrame, RepublishOverwritesWithEqualBytes)
+{
+    TempDir dir;
+    ArtifactStore store(dir.path);
+    ASSERT_TRUE(store.publish("key", "payload"));
+    const std::string first = readFile(store.pathFor("key"));
+    ASSERT_TRUE(store.publish("key", "payload"));
+    EXPECT_EQ(readFile(store.pathFor("key")), first);
+    EXPECT_EQ(countFiles(dir.path, ".bfa"), 1u);
+    EXPECT_EQ(countFiles(dir.path, ".tmp"), 0u);
+}
+
+TEST(StoreFrame, KeyEchoMismatchReadsAsMissNeverTheWrongRecord)
+{
+    TempDir dir;
+    ArtifactStore store(dir.path);
+    ASSERT_TRUE(store.publish("key-a", "payload-a"));
+    // Simulate a filename-hash collision: the record for key-a sits
+    // at key-b's path. The frame verifies, but the echoed key must
+    // reject it.
+    fs::copy_file(store.pathFor("key-a"), store.pathFor("key-b"));
+    EXPECT_FALSE(store.load("key-b").has_value());
+    EXPECT_EQ(store.stats().corrupt, 1u);
+    // The original record is untouched and still loads.
+    const auto got = store.load("key-a");
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, "payload-a");
+}
+
+// ------------------------------------------------ corruption injection
+
+TEST(StoreCorruption, TruncationAtEveryRegionIsDetected)
+{
+    TempDir dir;
+    ArtifactStore store(dir.path);
+    const std::string key = "trunc-key";
+    ASSERT_TRUE(store.publish(key, "truncation payload"));
+    const std::string path = store.pathFor(key);
+    const std::string frame = readFile(path);
+
+    // Empty file, mid-magic, mid-header, mid-key, mid-payload, and
+    // one byte short of the checksum.
+    const std::size_t cuts[] = {0,
+                                3,
+                                15,
+                                16 + 4,
+                                16 + key.size() + 8 + 5,
+                                frame.size() - 1};
+    std::size_t expectCorrupt = 0;
+    for (const std::size_t cut : cuts) {
+        ASSERT_LT(cut, frame.size());
+        writeFile(path, frame.substr(0, cut));
+        EXPECT_FALSE(store.load(key).has_value()) << "cut " << cut;
+        EXPECT_EQ(store.stats().corrupt, ++expectCorrupt)
+            << "cut " << cut;
+    }
+
+    // The store never deletes what it rejected; a republish heals it.
+    ASSERT_TRUE(store.publish(key, "truncation payload"));
+    const auto healed = store.load(key);
+    ASSERT_TRUE(healed.has_value());
+    EXPECT_EQ(*healed, "truncation payload");
+}
+
+TEST(StoreCorruption, BitFlipAnywhereFailsTheChecksum)
+{
+    TempDir dir;
+    ArtifactStore store(dir.path);
+    const std::string key = "flip-key";
+    ASSERT_TRUE(store.publish(key, "bit flip payload"));
+    const std::string path = store.pathFor(key);
+    const std::string frame = readFile(path);
+
+    // One flipped bit per frame region: magic, version, endian tag,
+    // key length, key bytes, payload length, payload bytes, and the
+    // checksum itself.
+    const std::size_t offsets[] = {1,
+                                   5,
+                                   9,
+                                   13,
+                                   16 + 2,
+                                   16 + key.size() + 3,
+                                   16 + key.size() + 8 + 4,
+                                   frame.size() - 2};
+    std::size_t expectCorrupt = 0;
+    for (const std::size_t off : offsets) {
+        ASSERT_LT(off, frame.size());
+        std::string bad = frame;
+        bad[off] = static_cast<char>(bad[off] ^ 0x10);
+        writeFile(path, bad);
+        EXPECT_FALSE(store.load(key).has_value()) << "offset " << off;
+        EXPECT_EQ(store.stats().corrupt, ++expectCorrupt)
+            << "offset " << off;
+    }
+
+    writeFile(path, frame);
+    EXPECT_TRUE(store.load(key).has_value());
+}
+
+TEST(StoreCorruption, ZeroFilledPayloadIsDetected)
+{
+    TempDir dir;
+    ArtifactStore store(dir.path);
+    const std::string key = "zero-key";
+    ASSERT_TRUE(store.publish(key, "zero fill payload"));
+    const std::string path = store.pathFor(key);
+    std::string frame = readFile(path);
+    for (std::size_t i = 16 + key.size() + 8; i < frame.size() - 8;
+         ++i)
+        frame[i] = '\0';
+    writeFile(path, frame);
+    EXPECT_FALSE(store.load(key).has_value());
+    EXPECT_EQ(store.stats().corrupt, 1u);
+}
+
+TEST(StoreCorruption, VersionSkewIsRejectedBeforeTheChecksum)
+{
+    TempDir dir;
+    ArtifactStore store(dir.path);
+    const std::string key = "version-key";
+    ASSERT_TRUE(store.publish(key, "versioned payload"));
+    const std::string path = store.pathFor(key);
+    std::string frame = readFile(path);
+
+    // A future format version with an internally consistent checksum:
+    // only the version check can catch it.
+    const std::uint32_t future = ArtifactStore::kFormatVersion + 1;
+    std::memcpy(&frame[4], &future, 4);
+    refreshChecksum(frame);
+    writeFile(path, frame);
+    EXPECT_FALSE(store.load(key).has_value());
+    EXPECT_EQ(store.stats().corrupt, 1u);
+}
+
+TEST(StoreCorruption, ForeignEndiannessIsRejectedBeforeTheChecksum)
+{
+    TempDir dir;
+    ArtifactStore store(dir.path);
+    const std::string key = "endian-key";
+    ASSERT_TRUE(store.publish(key, "endian payload"));
+    const std::string path = store.pathFor(key);
+    std::string frame = readFile(path);
+
+    // The tag as a byte-swapped machine would have written it, with
+    // a recomputed checksum -- the scalar fields that follow would
+    // all decode wrong, so the tag must gate everything after it.
+    std::uint32_t tag = 0;
+    std::memcpy(&tag, &frame[8], 4);
+    const std::uint32_t swapped = ((tag & 0xff) << 24) |
+                                  ((tag & 0xff00) << 8) |
+                                  ((tag >> 8) & 0xff00) | (tag >> 24);
+    std::memcpy(&frame[8], &swapped, 4);
+    refreshChecksum(frame);
+    writeFile(path, frame);
+    EXPECT_FALSE(store.load(key).has_value());
+    EXPECT_EQ(store.stats().corrupt, 1u);
+}
+
+TEST(StoreCorruption, CacheFallsBackToRecompileOnCorruptArtifact)
+{
+    TempDir dir;
+    ArtifactStore store(dir.path);
+    const Platform &platform = bitfusionPlatform();
+    const Network net = smallFcNet();
+
+    // Publish, then corrupt the record in place.
+    {
+        ArtifactCache cache;
+        cache.attachStore(&store);
+        ASSERT_NE(cache.get(platform, net).artifact, nullptr);
+        EXPECT_EQ(cache.compileCount(), 1u);
+    }
+    ASSERT_EQ(countFiles(dir.path, ".bfa"), 1u);
+    std::string path;
+    for (const auto &entry : fs::directory_iterator(dir.path))
+        path = entry.path().string();
+    std::string frame = readFile(path);
+    frame[frame.size() / 2] =
+        static_cast<char>(frame[frame.size() / 2] ^ 0x40);
+    writeFile(path, frame);
+
+    // A fresh cache rejects the record and compiles cleanly.
+    ArtifactCache cache;
+    cache.attachStore(&store);
+    const auto outcome = cache.get(platform, net);
+    ASSERT_NE(outcome.artifact, nullptr);
+    EXPECT_EQ(cache.compileCount(), 1u);
+    EXPECT_EQ(cache.storeHitCount(), 0u);
+    EXPECT_GE(store.stats().corrupt, 1u);
+}
+
+TEST(StoreCorruption, CacheFallsBackOnWellFramedGarbagePayload)
+{
+    // A frame that verifies but whose payload is not a serialized
+    // artifact exercises the deserialization-failure path (SerdeError
+    // inside the cache) rather than the store's frame checks.
+    TempDir dir;
+    ArtifactStore store(dir.path);
+    const Platform &platform = bitfusionPlatform();
+    const Network net = smallFcNet();
+
+    const std::string artifactKey = "artifact|v" +
+                                    std::to_string(kPlanSerdeVersion) +
+                                    "|" + platform.compileKey() + '#' +
+                                    networkFingerprint(net);
+    ASSERT_TRUE(store.publish(artifactKey, "not an artifact"));
+
+    ArtifactCache cache;
+    cache.attachStore(&store);
+    const auto outcome = cache.get(platform, net);
+    ASSERT_NE(outcome.artifact, nullptr);
+    EXPECT_EQ(cache.compileCount(), 1u);
+    EXPECT_EQ(cache.storeHitCount(), 0u);
+    // The garbage record was replaced by the recompile's publish.
+    ArtifactCache warm;
+    warm.attachStore(&store);
+    ASSERT_NE(warm.get(platform, net).artifact, nullptr);
+    EXPECT_EQ(warm.compileCount(), 0u);
+    EXPECT_EQ(warm.storeHitCount(), 1u);
+}
+
+TEST(StoreCorruption, PlanCacheFallsBackOnGarbagePayload)
+{
+    TempDir dir;
+    ArtifactStore store(dir.path);
+    const InstructionBlock block = smallFcBlock(zoo::cfg8x8());
+
+    const std::string planKey = "plan|v" +
+                                std::to_string(kPlanSerdeVersion) +
+                                "|" + ExecPlan::blockKey(block);
+    ASSERT_TRUE(store.publish(planKey, "not a plan"));
+
+    ArtifactCache cache;
+    cache.attachStore(&store);
+    ASSERT_NE(cache.plan(block), nullptr);
+    EXPECT_EQ(cache.planCount(), 1u);
+    EXPECT_EQ(cache.planStoreHitCount(), 0u);
+
+    ArtifactCache warm;
+    warm.attachStore(&store);
+    ASSERT_NE(warm.plan(block), nullptr);
+    EXPECT_EQ(warm.planCount(), 0u);
+    EXPECT_EQ(warm.planStoreHitCount(), 1u);
+}
+
+// ------------------------------------------------- serde round-trips
+
+/** Compare every InterpStats field with a named message. */
+void
+expectStatsEqual(const InterpStats &legacy, const InterpStats &plan,
+                 const std::string &what)
+{
+    for (unsigned b = 0; b < 3; ++b) {
+        EXPECT_EQ(legacy.dramLoadElems[b], plan.dramLoadElems[b])
+            << what << " dramLoadElems[" << b << "]";
+        EXPECT_EQ(legacy.dramStoreElems[b], plan.dramStoreElems[b])
+            << what << " dramStoreElems[" << b << "]";
+        EXPECT_EQ(legacy.bufReads[b], plan.bufReads[b])
+            << what << " bufReads[" << b << "]";
+        EXPECT_EQ(legacy.bufWrites[b], plan.bufWrites[b])
+            << what << " bufWrites[" << b << "]";
+        EXPECT_EQ(legacy.bufHighWater[b], plan.bufHighWater[b])
+            << what << " bufHighWater[" << b << "]";
+    }
+    EXPECT_EQ(legacy.macs, plan.macs) << what << " macs";
+    EXPECT_EQ(legacy.bitBrickOps, plan.bitBrickOps)
+        << what << " bitBrickOps";
+    EXPECT_EQ(legacy.auxOps, plan.auxOps) << what << " auxOps";
+    EXPECT_TRUE(legacy == plan) << what << " InterpStats operator==";
+}
+
+void
+expectMemoryEqual(const MemoryModel &a, const MemoryModel &b,
+                  const std::string &what)
+{
+    ASSERT_EQ(a.size(), b.size()) << what;
+    for (std::uint64_t i = 0; i < a.size(); ++i)
+        ASSERT_EQ(a.read(i), b.read(i)) << what << " address " << i;
+}
+
+constexpr DispatchTier kAllTiers[kDispatchTierCount] = {
+    DispatchTier::Switch, DispatchTier::Threaded,
+    DispatchTier::Specialized};
+
+/**
+ * The serde contract on one block: the lowered plan serializes
+ * deterministically, deserializes to a plan that re-serializes to
+ * the same bytes, and the deserialized plan reproduces the reference
+ * walk's stats and memory end-state bit-for-bit on every dispatch
+ * tier. The raw block serde must round-trip to an equal blockKey.
+ */
+void
+checkSerdeRoundTrip(const InstructionBlock &block,
+                    const MemoryModel &seed, const std::string &what)
+{
+    ByteWriter bw;
+    serializeBlock(bw, block);
+    ByteReader br(bw.bytes());
+    const InstructionBlock back = deserializeBlock(br);
+    EXPECT_TRUE(br.atEnd()) << what;
+    EXPECT_EQ(ExecPlan::blockKey(back), ExecPlan::blockKey(block))
+        << what;
+    ByteWriter bw2;
+    serializeBlock(bw2, back);
+    EXPECT_EQ(bw2.bytes(), bw.bytes()) << what;
+
+    const auto plan = ExecPlan::build(block);
+    const std::string bytes = serializePlan(*plan);
+    EXPECT_EQ(serializePlan(*plan), bytes)
+        << what << " serialization must be deterministic";
+    const auto revived = deserializePlan(bytes);
+    ASSERT_NE(revived, nullptr) << what;
+    EXPECT_EQ(serializePlan(*revived), bytes) << what;
+    EXPECT_EQ(revived->fused(), plan->fused()) << what;
+    EXPECT_EQ(revived->memoized(), plan->memoized()) << what;
+    EXPECT_EQ(revived->kernelName(), plan->kernelName()) << what;
+    EXPECT_EQ(revived->memoryExtent(), plan->memoryExtent()) << what;
+
+    MemoryModel legacyMem = seed;
+    Interpreter legacy(legacyMem);
+    legacy.runLegacy(block);
+    for (DispatchTier tier : kAllTiers) {
+        const std::string where =
+            what + " [" + dispatchTierName(tier) + "]";
+        MemoryModel planMem = seed;
+        Interpreter interp(planMem);
+        interp.run(*revived, tier);
+        expectStatsEqual(legacy.stats(), interp.stats(), where);
+        expectMemoryEqual(legacyMem, planMem, where);
+    }
+}
+
+/**
+ * Random valid block the compiler would never emit -- same
+ * generator as test_interp_plan.cc's fuzz corpus (PR 5): sparse
+ * loop ids, random transfer placement, set-rows 2-D weight DMA, and
+ * a MAC or pooling body.
+ */
+InstructionBlock
+fuzzBlock(Prng &prng, MemoryModel &mem)
+{
+    const FusionConfig cfgs[] = {zoo::cfg1x1(), zoo::cfg2x2(),
+                                 zoo::cfg4x1(), zoo::cfg4x4(),
+                                 zoo::cfg8x8(), zoo::cfg16x16()};
+    const FusionConfig cfg = cfgs[prng.below(6)];
+    const unsigned depth = 1 + static_cast<unsigned>(prng.below(4));
+
+    std::vector<unsigned> ids;
+    for (unsigned i = 0; i < 48; ++i)
+        ids.push_back(i);
+    for (unsigned i = 47; i > 0; --i)
+        std::swap(ids[i], ids[prng.below(i + 1)]);
+    ids.resize(depth);
+
+    std::vector<std::uint64_t> iters(depth);
+    for (unsigned d = 0; d < depth; ++d)
+        iters[d] = 1 + prng.below(3);
+
+    InstructionBlock b;
+    b.name = "fuzz";
+    b.config = cfg;
+    b.actShift = static_cast<unsigned>(prng.below(4));
+    b.actOutBits = prng.below(2) ? 8 : 0;
+
+    auto &ins = b.instructions;
+    ins.push_back(Instruction::setup(cfg.aBits, cfg.wBits, cfg.aSigned,
+                                     cfg.wSigned));
+    for (unsigned d = 0; d < depth; ++d)
+        ins.push_back(Instruction::loop(ids[d], iters[d]));
+
+    const auto IB = BufferId::Ibuf;
+    const auto OB = BufferId::Obuf;
+    const auto WB = BufferId::Wbuf;
+    const auto ACC = AddrSpace::BufAccess;
+    const auto MEM = AddrSpace::Mem;
+    const auto FILL = AddrSpace::BufFill;
+
+    const unsigned obLevel =
+        1 + static_cast<unsigned>(prng.below(depth));
+
+    auto maxAddr = [&](unsigned buf) {
+        std::uint64_t top = 0;
+        for (const Instruction &inst : ins) {
+            if (inst.op != Opcode::GenAddr ||
+                inst.buffer() != static_cast<BufferId>(buf) ||
+                inst.space() != ACC) {
+                continue;
+            }
+            for (unsigned d = 0; d < depth; ++d)
+                if (ids[d] == inst.id && iters[d] > 0)
+                    top += (iters[d] - 1) * inst.fullImm();
+        }
+        return top;
+    };
+    auto emitAccess = [&](BufferId buf, unsigned level) {
+        for (unsigned d = 0; d < level; ++d)
+            if (prng.below(2))
+                ins.push_back(Instruction::genAddr(
+                    buf, ACC, ids[d], 1 + prng.below(3)));
+    };
+    emitAccess(IB, depth);
+    emitAccess(WB, depth);
+    emitAccess(OB, obLevel);
+
+    const std::uint64_t ibufNeed =
+        maxAddr(static_cast<unsigned>(IB)) + 1;
+    const std::uint64_t obufNeed =
+        maxAddr(static_cast<unsigned>(OB)) + 1;
+    const std::uint64_t wbufAccessNeed =
+        maxAddr(static_cast<unsigned>(WB)) + 1;
+
+    const std::uint64_t wbRows = 1 + prng.below(3);
+    const std::uint64_t wbWords = divCeil(wbufAccessNeed, wbRows);
+    ins.push_back(
+        Instruction::genAddr(WB, MEM, addr_id::dmaRow, wbWords));
+    ins.push_back(
+        Instruction::genAddr(WB, FILL, addr_id::dmaRow, wbWords));
+
+    const std::uint64_t ibufBase = mem.allocate(ibufNeed);
+    const std::uint64_t obufBase = mem.allocate(obufNeed);
+    const std::uint64_t wbufBase = mem.allocate(wbRows * wbWords);
+    b.baseAddr = {ibufBase, obufBase, wbufBase};
+    Prng fill(prng.next());
+    for (std::uint64_t i = 0; i < ibufNeed; ++i)
+        mem.write(ibufBase + i,
+                  cfg.aSigned ? fill.nextSigned(cfg.aBits)
+                              : fill.nextUnsigned(cfg.aBits));
+    for (std::uint64_t i = 0; i < wbRows * wbWords; ++i)
+        mem.write(wbufBase + i,
+                  cfg.wSigned ? fill.nextSigned(cfg.wBits)
+                              : fill.nextUnsigned(cfg.wBits));
+
+    const unsigned ldLevel =
+        static_cast<unsigned>(prng.below(obLevel + 1));
+    ins.push_back(Instruction::ldMem(IB, ldLevel, ibufNeed));
+    ins.push_back(Instruction::setRows(ldLevel, wbRows));
+    ins.push_back(Instruction::ldMem(WB, ldLevel, wbWords));
+    ins.push_back(Instruction::ldMem(OB, ldLevel, obufNeed));
+    const bool pooling = prng.below(4) == 0;
+    ins.push_back(Instruction::rdBuf(OB, obLevel));
+    if (pooling) {
+        ins.push_back(Instruction::compute(ComputeFn::Reset, obLevel));
+        ins.push_back(Instruction::rdBuf(IB, depth));
+        ins.push_back(Instruction::compute(ComputeFn::Max, depth));
+    } else {
+        ins.push_back(Instruction::rdBuf(IB, depth));
+        ins.push_back(Instruction::rdBuf(WB, depth));
+        ins.push_back(Instruction::compute(ComputeFn::Mac, depth));
+    }
+    ins.push_back(Instruction::wrBuf(OB, obLevel, true));
+    ins.push_back(Instruction::stMem(OB, ldLevel, obufNeed, true,
+                                     prng.below(2) != 0));
+    ins.push_back(Instruction::blockEnd(0));
+    b.validate();
+    return b;
+}
+
+TEST(StoreRoundTrip, CompilerBlocksAllConfigs)
+{
+    const Compiler compiler(batch1Config());
+    const FusionConfig cfgs[] = {zoo::cfg1x1(), zoo::cfg2x2(),
+                                 zoo::cfg4x1(), zoo::cfg4x4(),
+                                 zoo::cfg8x8(), zoo::cfg16x16()};
+    unsigned seed = 700;
+    for (const FusionConfig &cfg : cfgs) {
+        // One conv (fused 3-D nest) and one fc (2-D set-rows DMA)
+        // per paper config.
+        {
+            const Layer layer =
+                Layer::conv("c", 4, 7, 7, 6, 3, 1, 1, cfg, 2);
+            Prng prng(++seed);
+            MemoryModel mem;
+            BlockBases bases;
+            const unsigned hp = layer.inH + 2 * layer.pad;
+            const unsigned wp = layer.inW + 2 * layer.pad;
+            bases.input = mem.allocate(
+                static_cast<std::size_t>(layer.inC) * hp * wp);
+            for (std::uint64_t i = 0;
+                 i < static_cast<std::uint64_t>(layer.inC) * hp * wp;
+                 ++i)
+                mem.write(bases.input + i,
+                          cfg.aSigned ? prng.nextSigned(cfg.aBits)
+                                      : prng.nextUnsigned(cfg.aBits));
+            bases.weights = mem.allocate(layer.weightCount());
+            for (std::uint64_t i = 0; i < layer.weightCount(); ++i)
+                mem.write(bases.weights + i,
+                          cfg.wSigned ? prng.nextSigned(cfg.wBits)
+                                      : prng.nextUnsigned(cfg.wBits));
+            bases.output = mem.allocate(layer.outputCount());
+            ActFusion act;
+            act.enabled = true;
+            act.shift = 3;
+            act.outBits = 8;
+            checkSerdeRoundTrip(compiler.emitConv(layer, bases, 3, act),
+                                mem, "conv " + cfg.toString());
+        }
+        {
+            const Layer layer = Layer::fc("f", 24, 10, cfg);
+            Prng prng(++seed);
+            MemoryModel mem;
+            BlockBases bases;
+            bases.input = mem.allocate(layer.inputCount());
+            for (std::uint64_t i = 0; i < layer.inputCount(); ++i)
+                mem.write(bases.input + i,
+                          cfg.aSigned ? prng.nextSigned(cfg.aBits)
+                                      : prng.nextUnsigned(cfg.aBits));
+            bases.weights = mem.allocate(layer.weightCount());
+            for (std::uint64_t i = 0; i < layer.weightCount(); ++i)
+                mem.write(bases.weights + i,
+                          cfg.wSigned ? prng.nextSigned(cfg.wBits)
+                                      : prng.nextUnsigned(cfg.wBits));
+            bases.output = mem.allocate(layer.outC);
+            checkSerdeRoundTrip(compiler.emitFc(layer, bases, 5, 8),
+                                mem, "fc " + cfg.toString());
+        }
+    }
+}
+
+TEST(StoreRoundTrip, FuzzedBlocks)
+{
+    // Same generator and seed family as the PR 5 fuzz corpus.
+    Prng prng(20260808);
+    for (unsigned round = 0; round < 40; ++round) {
+        MemoryModel mem;
+        const InstructionBlock block = fuzzBlock(prng, mem);
+        checkSerdeRoundTrip(block, mem,
+                            "fuzz round " + std::to_string(round));
+    }
+}
+
+/**
+ * Shrink a zoo layer to interpreter scale (same reductions as
+ * test_interp_plan.cc) so the full catalog round-trips in test time.
+ */
+Layer
+shrinkLayer(const Layer &l)
+{
+    Layer s = l;
+    const unsigned g = std::max(1u, l.groups);
+    auto capChannels = [g](unsigned c, unsigned cap) {
+        unsigned limit = std::max(g, cap - cap % g);
+        unsigned v = std::min(c, limit);
+        v -= v % g;
+        return std::max(v, g);
+    };
+    switch (l.kind) {
+      case LayerKind::Conv:
+        s.inC = capChannels(l.inC, 8);
+        s.outC = capChannels(l.outC, 8);
+        s.inH = std::min(l.inH, std::max(l.kH, 6u));
+        s.inW = std::min(l.inW, std::max(l.kW, 6u));
+        break;
+      case LayerKind::FullyConnected:
+      case LayerKind::Rnn:
+      case LayerKind::Lstm:
+        s.inC = std::min(l.inC, 48u);
+        s.outC = std::min(l.outC, 24u);
+        break;
+      case LayerKind::Pool:
+        s.inC = std::min(l.inC, 6u);
+        s.inH = std::min(l.inH, std::max(l.kH * 2, 8u));
+        s.inW = std::min(l.inW, std::max(l.kW * 2, 8u));
+        break;
+      case LayerKind::Activation:
+        s.inC = std::min(l.inC, 4u);
+        s.inH = std::min(l.inH, 6u);
+        s.inW = std::min(l.inW, 6u);
+        break;
+    }
+    return s;
+}
+
+Network
+shrinkNetwork(const Network &net)
+{
+    std::vector<Layer> layers;
+    for (const Layer &l : net.layers())
+        layers.push_back(shrinkLayer(l));
+    return Network(net.name() + "-small", layers);
+}
+
+/** Random representable input/weight image for a compiled network. */
+MemoryModel
+seedMemory(const CompiledNetwork &cn, unsigned seed)
+{
+    std::uint64_t total = 0;
+    for (const LayerSchedule &sched : cn.schedules)
+        total = std::max(
+            total, ExecPlan::build(sched.block)->memoryExtent());
+
+    MemoryModel mem;
+    mem.allocate(total);
+    Prng prng(seed);
+    for (const LayerSchedule &sched : cn.schedules) {
+        const Layer &l = sched.layer;
+        const auto &base = sched.block.baseAddr;
+        const std::uint64_t inElems =
+            l.kind == LayerKind::Conv
+                ? static_cast<std::uint64_t>(l.inC) *
+                      (l.inH + 2 * l.pad) * (l.inW + 2 * l.pad)
+                : l.inputCount();
+        for (std::uint64_t i = 0; i < inElems; ++i)
+            mem.write(base[0] + i,
+                      l.bits.aSigned ? prng.nextSigned(l.bits.aBits)
+                                     : prng.nextUnsigned(l.bits.aBits));
+        if (sched.usesMacArray) {
+            for (std::uint64_t i = 0; i < l.weightCount(); ++i)
+                mem.write(base[2] + i,
+                          l.bits.wSigned
+                              ? prng.nextSigned(l.bits.wBits)
+                              : prng.nextUnsigned(l.bits.wBits));
+        }
+    }
+    return mem;
+}
+
+TEST(StoreRoundTrip, ModelZooNetworksByteStableAndParityIdentical)
+{
+    const Compiler compiler(batch1Config());
+    unsigned seed = 4200;
+    for (const zoo::Benchmark &bench : zoo::all()) {
+        for (const Network *variant :
+             {&bench.quantized, &bench.baseline}) {
+            const Network net = shrinkNetwork(*variant);
+            const CompiledNetwork cn = compiler.compile(net);
+
+            // Network serde: byte-stable round trip.
+            const std::string bytes = serializeCompiledNetwork(cn);
+            const CompiledNetwork back =
+                deserializeCompiledNetwork(bytes);
+            EXPECT_EQ(serializeCompiledNetwork(back), bytes)
+                << net.name();
+            ASSERT_EQ(back.schedules.size(), cn.schedules.size())
+                << net.name();
+
+            // The deserialized network's blocks reproduce the
+            // original compile's reference walk exactly -- stats and
+            // memory -- on every dispatch tier.
+            const MemoryModel seedMem = seedMemory(cn, ++seed);
+            MemoryModel legacyMem = seedMem;
+            Interpreter legacy(legacyMem);
+            for (const LayerSchedule &sched : cn.schedules)
+                legacy.runLegacy(sched.block);
+
+            for (DispatchTier tier : kAllTiers) {
+                const std::string where = net.name() + " [" +
+                                          dispatchTierName(tier) + "]";
+                MemoryModel planMem = seedMem;
+                Interpreter interp(planMem);
+                for (const LayerSchedule &sched : back.schedules)
+                    interp.run(*ExecPlan::build(sched.block), tier);
+                expectStatsEqual(legacy.stats(), interp.stats(),
+                                 where);
+                expectMemoryEqual(legacyMem, planMem, where);
+            }
+        }
+    }
+}
+
+// ----------------------------------------------- cache warm starts
+
+TEST(StoreCache, ArtifactWarmStartAcrossFreshCaches)
+{
+    TempDir dir;
+    ArtifactStore store(dir.path);
+    const Platform &platform = bitfusionPlatform();
+    const Network net = smallFcNet();
+
+    ArtifactCache cold;
+    cold.attachStore(&store);
+    EXPECT_EQ(cold.store(), &store);
+    const auto first = cold.get(platform, net);
+    ASSERT_NE(first.artifact, nullptr);
+    EXPECT_TRUE(first.compiled);
+    EXPECT_EQ(cold.compileCount(), 1u);
+    EXPECT_EQ(cold.storeHitCount(), 0u);
+
+    ArtifactCache warm;
+    warm.attachStore(&store);
+    const auto second = warm.get(platform, net);
+    ASSERT_NE(second.artifact, nullptr);
+    EXPECT_EQ(warm.compileCount(), 0u);
+    EXPECT_EQ(warm.storeHitCount(), 1u);
+    // The loaded artifact is byte-equivalent to the compiled one.
+    EXPECT_EQ(platform.serializeArtifact(*second.artifact),
+              platform.serializeArtifact(*first.artifact));
+
+    // In-memory hits never touch the store again.
+    const auto sBefore = store.stats();
+    ASSERT_NE(warm.get(platform, net).artifact, nullptr);
+    EXPECT_EQ(warm.hitCount(), 1u);
+    EXPECT_EQ(store.stats().hits, sBefore.hits);
+}
+
+TEST(StoreCache, PlanWarmStartAcrossFreshCaches)
+{
+    TempDir dir;
+    ArtifactStore store(dir.path);
+    const InstructionBlock block = smallFcBlock(zoo::cfg8x8());
+
+    ArtifactCache cold;
+    cold.attachStore(&store);
+    const auto built = cold.plan(block);
+    ASSERT_NE(built, nullptr);
+    EXPECT_EQ(cold.planCount(), 1u);
+
+    ArtifactCache warm;
+    warm.attachStore(&store);
+    const auto loaded = warm.plan(block);
+    ASSERT_NE(loaded, nullptr);
+    EXPECT_EQ(warm.planCount(), 0u);
+    EXPECT_EQ(warm.planStoreHitCount(), 1u);
+    EXPECT_EQ(serializePlan(*loaded), serializePlan(*built));
+}
+
+TEST(StoreCache, DetachedCacheNeverTouchesTheStore)
+{
+    TempDir dir;
+    ArtifactStore store(dir.path);
+    const Platform &platform = bitfusionPlatform();
+    const Network net = smallFcNet();
+    {
+        ArtifactCache seeded;
+        seeded.attachStore(&store);
+        ASSERT_NE(seeded.get(platform, net).artifact, nullptr);
+    }
+
+    ArtifactCache detached;
+    EXPECT_EQ(detached.store(), nullptr);
+    ASSERT_NE(detached.get(platform, net).artifact, nullptr);
+    EXPECT_EQ(detached.compileCount(), 1u);
+    EXPECT_EQ(detached.storeHitCount(), 0u);
+    EXPECT_EQ(store.stats().hits, 0u);
+
+    // clear() keeps the attachment; detach is explicit.
+    ArtifactCache attached;
+    attached.attachStore(&store);
+    attached.clear();
+    EXPECT_EQ(attached.store(), &store);
+    attached.attachStore(nullptr);
+    EXPECT_EQ(attached.store(), nullptr);
+}
+
+// -------------------------------------------------------- races
+
+TEST(StoreRace, PrivateCachesRacingColdStoreLeaveOneRecord)
+{
+    TempDir dir;
+    ArtifactStore store(dir.path);
+    const Platform &platform = bitfusionPlatform();
+    const Network net = smallFcNet();
+
+    constexpr unsigned kThreads = 8;
+    std::vector<std::string> bytes(kThreads);
+    std::vector<std::thread> workers;
+    for (unsigned t = 0; t < kThreads; ++t) {
+        workers.emplace_back([&, t] {
+            // Each worker is its own "process": a private cache over
+            // the shared store, so every one races the publish.
+            ArtifactCache cache;
+            cache.attachStore(&store);
+            const auto outcome = cache.get(platform, net);
+            if (outcome.artifact != nullptr)
+                bytes[t] =
+                    platform.serializeArtifact(*outcome.artifact);
+        });
+    }
+    for (auto &w : workers)
+        w.join();
+
+    ASSERT_FALSE(bytes[0].empty());
+    for (unsigned t = 1; t < kThreads; ++t)
+        EXPECT_EQ(bytes[t], bytes[0]) << "thread " << t;
+    EXPECT_EQ(countFiles(dir.path, ".bfa"), 1u);
+    EXPECT_EQ(countFiles(dir.path, ".tmp"), 0u);
+
+    // Whatever record won the renames, a fresh cache warm-starts.
+    ArtifactCache warm;
+    warm.attachStore(&store);
+    ASSERT_NE(warm.get(platform, net).artifact, nullptr);
+    EXPECT_EQ(warm.compileCount(), 0u);
+    EXPECT_EQ(warm.storeHitCount(), 1u);
+}
+
+TEST(StoreRace, SharedCacheResolvesOnceUnderContention)
+{
+    TempDir dir;
+    ArtifactStore store(dir.path);
+    const Platform &platform = bitfusionPlatform();
+    const Network net = smallFcNet();
+
+    ArtifactCache cache;
+    cache.attachStore(&store);
+    constexpr unsigned kThreads = 8;
+    std::vector<std::thread> workers;
+    for (unsigned t = 0; t < kThreads; ++t) {
+        workers.emplace_back([&] {
+            const auto outcome = cache.get(platform, net);
+            EXPECT_NE(outcome.artifact, nullptr);
+        });
+    }
+    for (auto &w : workers)
+        w.join();
+
+    // Exactly one resolution happened, however the threads raced.
+    EXPECT_EQ(cache.compileCount() + cache.storeHitCount(), 1u);
+    EXPECT_EQ(cache.hitCount(), kThreads - 1);
+    EXPECT_EQ(countFiles(dir.path, ".tmp"), 0u);
+}
+
+TEST(StoreRace, PlanPublishRaceIsByteIdentical)
+{
+    TempDir dir;
+    ArtifactStore store(dir.path);
+    const InstructionBlock block = smallFcBlock(zoo::cfg4x4());
+
+    constexpr unsigned kThreads = 8;
+    std::vector<std::string> bytes(kThreads);
+    std::vector<std::thread> workers;
+    for (unsigned t = 0; t < kThreads; ++t) {
+        workers.emplace_back([&, t] {
+            ArtifactCache cache;
+            cache.attachStore(&store);
+            const auto plan = cache.plan(block);
+            if (plan != nullptr)
+                bytes[t] = serializePlan(*plan);
+        });
+    }
+    for (auto &w : workers)
+        w.join();
+
+    ASSERT_FALSE(bytes[0].empty());
+    for (unsigned t = 1; t < kThreads; ++t)
+        EXPECT_EQ(bytes[t], bytes[0]) << "thread " << t;
+    EXPECT_EQ(countFiles(dir.path, ".bfa"), 1u);
+    EXPECT_EQ(countFiles(dir.path, ".tmp"), 0u);
+}
+
+TEST(StoreRace, TwoProcessColdRaceIsSafe)
+{
+    TempDir dir;
+    const std::string side = dir.path + ".child-bytes";
+    const Network net = smallFcNet();
+    const PlatformSpec spec =
+        PlatformRegistry::builtin().parse("bitfusion");
+
+    const pid_t pid = fork();
+    ASSERT_NE(pid, -1);
+    if (pid == 0) {
+        // Child: a genuinely separate process with its own store
+        // handle, cache, and platform, racing the same cold key. No
+        // gtest in here -- failures surface as exit codes.
+        ArtifactStore store(dir.path);
+        ArtifactCache cache;
+        cache.attachStore(&store);
+        const auto platform = PlatformRegistry::builtin().build(spec);
+        const auto outcome = cache.get(*platform, net);
+        if (outcome.artifact == nullptr)
+            _exit(10);
+        const std::string mine =
+            platform->serializeArtifact(*outcome.artifact);
+        std::ofstream out(side, std::ios::binary);
+        out.write(mine.data(),
+                  static_cast<std::streamsize>(mine.size()));
+        out.close();
+        _exit(out.good() ? 0 : 11);
+    }
+
+    ArtifactStore store(dir.path);
+    ArtifactCache cache;
+    cache.attachStore(&store);
+    const auto platform = PlatformRegistry::builtin().build(spec);
+    const auto outcome = cache.get(*platform, net);
+    ASSERT_NE(outcome.artifact, nullptr);
+    const std::string mine =
+        platform->serializeArtifact(*outcome.artifact);
+
+    int status = 0;
+    ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+    ASSERT_TRUE(WIFEXITED(status));
+    ASSERT_EQ(WEXITSTATUS(status), 0);
+
+    // Both processes computed byte-identical artifacts, exactly one
+    // record survived, and no temp files leaked.
+    EXPECT_EQ(readFile(side), mine);
+    EXPECT_EQ(countFiles(dir.path, ".bfa"), 1u);
+    EXPECT_EQ(countFiles(dir.path, ".tmp"), 0u);
+
+    // The surviving record is valid: a third "process" warm-starts.
+    ArtifactCache warm;
+    warm.attachStore(&store);
+    ASSERT_NE(warm.get(*platform, net).artifact, nullptr);
+    EXPECT_EQ(warm.compileCount(), 0u);
+    EXPECT_EQ(warm.storeHitCount(), 1u);
+
+    std::error_code ec;
+    fs::remove(side, ec);
+}
+
+// ------------------------------------------------- golden parity
+
+TEST(StoreGolden, SweepsAreByteIdenticalColdAndWarm)
+{
+    for (const char *id : {"fig13", "fig14", "fig17", "fig18"}) {
+        const figures::Figure *fig = figures::find(id);
+        ASSERT_NE(fig, nullptr) << id;
+        const SweepSpec spec = fig->spec();
+
+        // Store-less baseline at the goldens' recorded thread count.
+        SweepOptions base;
+        base.threads = 2;
+        ArtifactCache plain;
+        base.cache = &plain;
+        const std::string expected =
+            SweepRunner(base).run(spec).json(false);
+
+        TempDir dir;
+        ArtifactStore store(dir.path);
+
+        ArtifactCache coldCache;
+        SweepOptions coldOpts = base;
+        coldOpts.cache = &coldCache;
+        coldOpts.store = &store;
+        EXPECT_EQ(SweepRunner(coldOpts).run(spec).json(false),
+                  expected)
+            << id << " cold";
+        EXPECT_GT(store.stats().publishes, 0u) << id;
+
+        ArtifactCache warmCache;
+        SweepOptions warmOpts = base;
+        warmOpts.cache = &warmCache;
+        warmOpts.store = &store;
+        EXPECT_EQ(SweepRunner(warmOpts).run(spec).json(false),
+                  expected)
+            << id << " warm";
+        // The warm run resolved everything from disk: zero compiles,
+        // zero plan lowerings.
+        EXPECT_EQ(warmCache.compileCount(), 0u) << id;
+        EXPECT_EQ(warmCache.planCount(), 0u) << id;
+        EXPECT_GT(warmCache.storeHitCount(), 0u) << id;
+        EXPECT_EQ(countFiles(dir.path, ".tmp"), 0u) << id;
+    }
+}
+
+TEST(StoreGolden, Fig13WarmStoreMatchesTheCommittedGolden)
+{
+    std::ifstream in(std::string(BITFUSION_SOURCE_DIR) +
+                     "/tests/golden/fig13.json");
+    ASSERT_TRUE(in.good());
+    std::stringstream golden;
+    golden << in.rdbuf();
+    std::string expected = golden.str();
+    ASSERT_FALSE(expected.empty());
+    if (expected.back() == '\n')
+        expected.pop_back(); // the CLI appends one newline
+
+    const figures::Figure *fig = figures::find("fig13");
+    ASSERT_NE(fig, nullptr);
+    const SweepSpec spec = fig->spec();
+
+    TempDir dir;
+    ArtifactStore store(dir.path);
+    for (const bool warm : {false, true}) {
+        ArtifactCache cache;
+        SweepOptions opts;
+        opts.threads = 2; // the goldens' recorded thread count
+        opts.cache = &cache;
+        opts.store = &store;
+        EXPECT_EQ(SweepRunner(opts).run(spec).json(false), expected)
+            << (warm ? "warm" : "cold");
+        if (warm) {
+            EXPECT_EQ(cache.compileCount(), 0u);
+        }
+    }
+}
+
+TEST(StoreGolden, ServeFifoR1WarmStoreMatchesTheGoldenReport)
+{
+    using serve::ServeOptions;
+    using serve::ServeReport;
+    using serve::ServingEngine;
+    using serve::TraceSpec;
+
+    std::ifstream in(std::string(BITFUSION_SOURCE_DIR) +
+                     "/tests/golden/serve_fifo_r1.json");
+    ASSERT_TRUE(in.good());
+    std::stringstream golden;
+    golden << in.rdbuf();
+    std::string expected = golden.str();
+    ASSERT_FALSE(expected.empty());
+    if (expected.back() == '\n')
+        expected.pop_back();
+
+    TraceSpec traceSpec;
+    traceSpec.seed = 7;
+    traceSpec.requests = 400;
+    traceSpec.meanGapUs = 1500.0;
+    traceSpec.deadlineSlackUs = 20000.0;
+
+    TempDir dir;
+    ArtifactStore store(dir.path);
+    for (const bool warm : {false, true}) {
+        ArtifactCache cache;
+        ServeOptions opts;
+        opts.threads = 1;
+        opts.maxWaitUs = 500.0;
+        opts.cache = &cache;
+        opts.store = &store;
+        ServingEngine engine(
+            PlatformRegistry::builtin().parse("bitfusion"), opts);
+        const ServeReport report =
+            engine.run(serve::syntheticTrace(traceSpec));
+        // The report -- including its "compiles" counter -- is
+        // byte-identical whether the work was compiled or loaded.
+        EXPECT_EQ(report.json(true), expected)
+            << (warm ? "warm" : "cold");
+        if (warm) {
+            EXPECT_EQ(cache.compileCount(), 0u);
+            EXPECT_GT(cache.storeHitCount(), 0u);
+        }
+    }
+}
+
+} // namespace
+} // namespace bitfusion

@@ -29,6 +29,8 @@
 
 #include "src/common/cli.h"
 #include "src/common/logging.h"
+#include "src/core/artifact_cache.h"
+#include "src/core/artifact_store.h"
 #include "src/serve/scheduler.h"
 #include "src/serve/serving_engine.h"
 
@@ -58,6 +60,7 @@ usage(const char *argv0)
         "  batching: [--max-batch B] [--max-wait-us W]\n"
         "  admission: [--max-queue-depth N] [--shed-unmeetable]\n"
         "  output: [--json PATH] [--per-request] [--threads N]\n"
+        "      [--store DIR]\n"
         "      [--streaming-stats] [--active-window]\n"
         "  registries: [--list-platforms] [--list-schedulers]\n",
         argv0, schedulerNames().c_str());
@@ -336,6 +339,8 @@ main(int argc, char **argv)
             openOnlyFlag = arg;
         } else if (arg == "--json" && i + 1 < argc) {
             jsonPath = argv[++i];
+        } else if (arg == "--store" && i + 1 < argc) {
+            ArtifactStore::setProcessRoot(argv[++i]);
         } else if (arg == "--per-request") {
             perRequest = true;
         } else if (arg == "--list-platforms") {
@@ -502,6 +507,18 @@ main(int argc, char **argv)
         if (!out)
             BF_FATAL("cannot write JSON to '", jsonPath, "'");
         out << report.json(perRequest) << "\n";
+    }
+    if (const ArtifactStore *store = ArtifactStore::process()) {
+        // stderr so cold and warm runs keep identical stdout/JSON.
+        const auto st = store->stats();
+        std::fprintf(stderr,
+                     "store %s: %zu loads, %zu publishes, %zu misses, "
+                     "%zu corrupt; compiles this process: %zu, "
+                     "plan builds: %zu\n",
+                     store->root().c_str(), st.hits, st.publishes,
+                     st.misses, st.corrupt,
+                     ArtifactCache::process().compileCount(),
+                     ArtifactCache::process().planCount());
     }
     return 0;
 }
