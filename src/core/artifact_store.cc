@@ -2,6 +2,7 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
@@ -10,6 +11,7 @@
 #include <fstream>
 #include <memory>
 #include <utility>
+#include <vector>
 
 #include "src/common/hash.h"
 #include "src/common/logging.h"
@@ -57,11 +59,14 @@ readU64(const char *p)
  * Frame verifier: returns the payload, or a rejection reason via
  * @p why. Check order matters for diagnostics: structural and
  * version checks identify *why* a record is unusable before the
- * checksum condemns it as generally corrupt.
+ * checksum condemns it as generally corrupt. @p key may be nullptr
+ * (the GC scan has no key to echo-check; it compares the embedded
+ * key against the filename instead) and @p keyOut, when non-null,
+ * receives the embedded key of a structurally valid frame.
  */
 std::optional<std::string>
-verifyFrame(const std::string &frame, const std::string &key,
-            const char **why)
+verifyFrame(const std::string &frame, const std::string *key,
+            const char **why, std::string *keyOut = nullptr)
 {
     if (frame.size() < kHeaderBytes + 8 + kChecksumBytes) {
         *why = "truncated header";
@@ -98,12 +103,16 @@ verifyFrame(const std::string &frame, const std::string &key,
         *why = "checksum mismatch";
         return std::nullopt;
     }
-    if (keyLen != key.size() ||
-        std::memcmp(frame.data() + kHeaderBytes, key.data(),
-                    keyLen) != 0) {
+    if (key != nullptr &&
+        (keyLen != key->size() ||
+         std::memcmp(frame.data() + kHeaderBytes, key->data(),
+                     keyLen) != 0)) {
         *why = "key mismatch (filename-hash collision)";
         return std::nullopt;
     }
+    if (keyOut != nullptr)
+        keyOut->assign(frame.data() + kHeaderBytes,
+                       static_cast<std::size_t>(keyLen));
     return frame.substr(kHeaderBytes + keyLen + 8,
                         static_cast<std::size_t>(payloadLen));
 }
@@ -180,7 +189,8 @@ ArtifactStore::load(const std::string &key) const
     }
 
     const char *why = "unknown";
-    std::optional<std::string> payload = verifyFrame(frame, key, &why);
+    std::optional<std::string> payload =
+        verifyFrame(frame, &key, &why);
     if (!payload) {
         BF_WARN("artifact store: rejecting '", path, "': ", why,
                 "; falling back to recompile");
@@ -227,6 +237,97 @@ ArtifactStore::publish(const std::string &key,
     std::lock_guard<std::mutex> lock(mutex_);
     ++stats_.publishes;
     return true;
+}
+
+ArtifactStore::GcResult
+ArtifactStore::gc(std::uint64_t maxBytes, bool dryRun) const
+{
+    struct Candidate
+    {
+        std::string path;
+        std::uint64_t bytes = 0;
+        fs::file_time_type mtime;
+    };
+
+    GcResult result;
+    std::vector<Candidate> records;
+    std::error_code ec;
+    for (const auto &entry : fs::directory_iterator(root_, ec)) {
+        if (!entry.is_regular_file(ec)) {
+            ++result.skipped;
+            continue;
+        }
+        const std::string path = entry.path().string();
+        if (entry.path().extension() != ".bfa") {
+            // In-flight "*.tmp" publishes and foreign files are not
+            // the GC's to touch.
+            ++result.skipped;
+            continue;
+        }
+        std::ifstream in(path, std::ios::binary);
+        std::string frame((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+        const char *why = "unknown";
+        std::string key;
+        if (!in || !verifyFrame(frame, nullptr, &why, &key) ||
+            pathFor(key) != path) {
+            // Only records the store can prove it owns -- complete,
+            // checksummed, filed under their own key -- are eviction
+            // candidates; anything else stays for a human.
+            ++result.skipped;
+            continue;
+        }
+        Candidate c;
+        c.path = path;
+        c.bytes = frame.size();
+        c.mtime = entry.last_write_time(ec);
+        if (ec) {
+            ++result.skipped;
+            continue;
+        }
+        records.push_back(std::move(c));
+    }
+    if (ec)
+        BF_FATAL("cannot scan artifact store root '", root_, "': ",
+                 ec.message());
+
+    // Oldest first; ties prefer evicting the larger record (fewer
+    // deletions reach the budget), then the filename, so one tree
+    // always ranks one way.
+    std::sort(records.begin(), records.end(),
+              [](const Candidate &a, const Candidate &b) {
+                  if (a.mtime != b.mtime)
+                      return a.mtime < b.mtime;
+                  if (a.bytes != b.bytes)
+                      return a.bytes > b.bytes;
+                  return a.path < b.path;
+              });
+
+    std::uint64_t total = 0;
+    for (const auto &c : records)
+        total += c.bytes;
+    result.scanned = records.size();
+    result.retained = records.size();
+    result.retainedBytes = total;
+    for (const auto &c : records) {
+        if (total <= maxBytes)
+            break;
+        if (!dryRun) {
+            std::error_code rmEc;
+            if (!fs::remove(c.path, rmEc) || rmEc) {
+                // A racing GC (or operator) may have beaten us to
+                // it; the record is gone either way.
+                BF_WARN("artifact store gc: cannot remove '", c.path,
+                        "'");
+            }
+        }
+        total -= c.bytes;
+        ++result.evicted;
+        result.evictedBytes += c.bytes;
+        --result.retained;
+        result.retainedBytes -= c.bytes;
+    }
+    return result;
 }
 
 ArtifactStore::Stats

@@ -102,6 +102,40 @@ class ArtifactStore
      */
     std::string pathFor(const std::string &key) const;
 
+    /** What one gc() pass deleted (or would delete, when dry). */
+    struct GcResult
+    {
+        /** Valid records examined. */
+        std::size_t scanned = 0;
+        /** Valid records evicted (or marked for eviction). */
+        std::size_t evicted = 0;
+        /** Bytes those evictions reclaim. */
+        std::uint64_t evictedBytes = 0;
+        /** Valid records kept. */
+        std::size_t retained = 0;
+        /** Bytes the kept records occupy. */
+        std::uint64_t retainedBytes = 0;
+        /** Files left alone: in-flight "*.tmp" publishes, foreign
+         *  files, and records that fail frame verification (a
+         *  corrupt record is evidence worth keeping, and deleting
+         *  anything the store cannot prove it owns is how a GC
+         *  eats someone's data). */
+        std::size_t skipped = 0;
+    };
+
+    /**
+     * Evict valid records, oldest modification time first, until the
+     * ones left fit in @p maxBytes (ties: larger record first, then
+     * filename, so a pass is deterministic for a fixed tree). Only
+     * files that parse as complete, checksummed records whose
+     * embedded key hashes back to their own filename are candidates;
+     * everything else is skipped, never deleted. Safe against
+     * concurrent readers and publishers: an unlinked record reads as
+     * a plain miss, and in-flight "*.tmp" files are untouched. With
+     * @p dryRun the result is computed but nothing is removed.
+     */
+    GcResult gc(std::uint64_t maxBytes, bool dryRun = false) const;
+
     /**
      * The process-wide store, or nullptr when none is configured.
      * Materialized on first call from setProcessRoot() or, failing

@@ -12,9 +12,11 @@
 #include <deque>
 #include <functional>
 #include <limits>
+#include <optional>
 #include <queue>
 #include <set>
 #include <sstream>
+#include <unordered_map>
 #include <utility>
 
 #include "src/common/json.h"
@@ -83,6 +85,43 @@ sameClass(const PlatformSpec &a, const PlatformSpec &b)
            a.runsQuantized == b.runsQuantized &&
            a.effectiveBatch() == b.effectiveBatch() &&
            a.config == b.config;
+}
+
+/** Remove the dispatched members from the queue with one stable
+ *  span erase: survivors inside [first, last] compact down, then
+ *  the gap at the span's tail erases once. deque::erase shifts
+ *  whichever side of the deque is smaller, so the common
+ *  front-clustered FIFO batch costs O(members) amortized instead of
+ *  the old rebuild-the-whole-deque O(queue). */
+void
+eraseMembers(std::deque<InferenceRequest> &queue,
+             std::vector<std::size_t> members)
+{
+    std::sort(members.begin(), members.end());
+    for (std::size_t m = 1; m < members.size(); ++m)
+        BF_ASSERT(members[m] != members[m - 1]);
+    const std::size_t first = members.front();
+    const std::size_t last = members.back();
+    if (last - first + 1 == members.size()) {
+        // Contiguous members: erase the span directly.
+        queue.erase(queue.begin() +
+                        static_cast<std::ptrdiff_t>(first),
+                    queue.begin() +
+                        static_cast<std::ptrdiff_t>(last + 1));
+        return;
+    }
+    std::size_t write = first;
+    std::size_t next = 0;
+    for (std::size_t i = first; i <= last; ++i) {
+        if (next < members.size() && members[next] == i) {
+            ++next;
+            continue;
+        }
+        queue[write++] = std::move(queue[i]);
+    }
+    queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(write),
+                queue.begin() +
+                    static_cast<std::ptrdiff_t>(last + 1));
 }
 
 } // namespace
@@ -179,6 +218,33 @@ ServeReport::samplesPerSec() const
 }
 
 double
+ServeReport::offeredRequestsPerSec() const
+{
+    const double windowUs = throughputWindowUs();
+    if (windowUs <= 0.0)
+        return 0.0;
+    return static_cast<double>(requestsIssued) / (windowUs * 1e-6);
+}
+
+double
+ServeReport::goodput() const
+{
+    if (requestsIssued == 0)
+        return 0.0;
+    return static_cast<double>(requestCount) /
+           static_cast<double>(requestsIssued);
+}
+
+double
+ServeReport::fleetAvailability() const
+{
+    if (replicas.empty() || makespanUs <= 0.0)
+        return 1.0;
+    return 1.0 - fleetDownUs / (makespanUs *
+                                static_cast<double>(replicas.size()));
+}
+
+double
 ServeReport::batchFill() const
 {
     if (batchCount == 0 || maxBatch == 0)
@@ -239,25 +305,78 @@ ServeReport::json(bool per_request) const
                  static_cast<std::uint64_t>(shedByDepth))
             .set("shed_by_deadline",
                  static_cast<std::uint64_t>(shedByDeadline));
+        if (faultReport) {
+            doc.set("shed_degraded",
+                    static_cast<std::uint64_t>(shedDegraded));
+        }
+    }
+    if (switchReport) {
+        doc.set("network_switches",
+                static_cast<std::uint64_t>(networkSwitches))
+            .set("switch_penalty_total_us", switchPenaltyTotalUs);
     }
     doc.set("energy_j", energyJ)
         .set("energy_per_sample_j",
              totalSamples != 0
                  ? energyJ / static_cast<double>(totalSamples)
                  : 0.0);
-    if (fleet) {
+    if (fleet || faultReport) {
         json::Value reps = json::Value::array();
         for (const auto &r : replicas) {
-            reps.push(json::Value::object()
-                          .set("platform", r.platform)
-                          .set("batches",
-                               static_cast<std::uint64_t>(r.batches))
-                          .set("samples", r.samples)
-                          .set("busy_us", r.busyUs)
-                          .set("utilization", r.utilization)
-                          .set("energy_j", r.energyJ));
+            json::Value rep =
+                json::Value::object()
+                    .set("platform", r.platform)
+                    .set("batches",
+                         static_cast<std::uint64_t>(r.batches))
+                    .set("samples", r.samples)
+                    .set("busy_us", r.busyUs)
+                    .set("utilization", r.utilization)
+                    .set("energy_j", r.energyJ);
+            if (faultReport) {
+                rep.set("down_us", r.downUs)
+                    .set("lost_batches",
+                         static_cast<std::uint64_t>(r.lostBatches))
+                    .set("wasted_us", r.wastedUs);
+            }
+            reps.push(std::move(rep));
         }
         doc.set("replicas", std::move(reps));
+    }
+    if (faultReport) {
+        doc.set(
+            "availability",
+            json::Value::object()
+                .set("requests_issued",
+                     static_cast<std::uint64_t>(requestsIssued))
+                .set("requests_served",
+                     static_cast<std::uint64_t>(requestCount))
+                .set("requests_shed",
+                     static_cast<std::uint64_t>(shedRequests))
+                .set("requests_abandoned",
+                     static_cast<std::uint64_t>(requestsAbandoned))
+                .set("requests_recovered",
+                     static_cast<std::uint64_t>(requestsRecovered))
+                .set("request_loss_events",
+                     static_cast<std::uint64_t>(requestLossEvents))
+                .set("batches_lost",
+                     static_cast<std::uint64_t>(lostBatches))
+                .set("retries_issued",
+                     static_cast<std::uint64_t>(retriesIssued))
+                .set("hedges_issued",
+                     static_cast<std::uint64_t>(hedgesIssued))
+                .set("hedges_won",
+                     static_cast<std::uint64_t>(hedgesWon))
+                .set("hedges_cancelled",
+                     static_cast<std::uint64_t>(hedgesCancelled))
+                .set("hedges_lost",
+                     static_cast<std::uint64_t>(hedgesLost))
+                .set("fleet_down_us", fleetDownUs)
+                .set("fleet_availability", fleetAvailability())
+                .set("offered_rps", offeredRequestsPerSec())
+                .set("goodput", goodput())
+                .set("last_recovery_us", lastRecoveryUs)
+                .set("drain_after_recovery_us",
+                     drainAfterRecoveryUs));
     }
     doc.set("cache", json::Value::object()
                          .set("compiles",
@@ -280,6 +399,11 @@ ServeReport::json(bool per_request) const
             if (fleet)
                 rec.set("replica", r.replica);
             rec.set("deadline_missed", r.deadlineMissed);
+            if (faultReport) {
+                rec.set("attempts", r.attempts)
+                    .set("hedged", r.hedged)
+                    .set("recovered", r.recovered);
+            }
             recs.push(std::move(rec));
         }
         doc.set("request_records", std::move(recs));
@@ -435,15 +559,22 @@ double
 ServingEngine::cheapestFreeLatencyUs(unsigned netId, unsigned batch,
                                      double now)
 {
-    // Only classes with a replica free at the planning time can
-    // receive the batch, so the estimate handed to schedulers is an
-    // upper bound on the routed latency: the free set only grows
-    // between planning and dispatch, and routing takes its minimum.
+    // Only classes with a replica free (and outside any fault
+    // outage) at the planning time can receive the batch, so the
+    // estimate handed to schedulers is an upper bound on the routed
+    // latency: the free set only grows between planning and
+    // dispatch, and routing takes its minimum.
     double best = std::numeric_limits<double>::infinity();
     for (std::size_t c = 0; c < classes_.size(); ++c) {
         bool free = false;
-        for (const auto &replica : replicas_)
-            free = free || (replica.cls == c && replica.freeAt <= now);
+        for (std::size_t r = 0; r < replicas_.size(); ++r) {
+            if (replicas_[r].cls != c || replicas_[r].freeAt > now)
+                continue;
+            if (timeline_ != nullptr && !timeline_->upAt(r, now))
+                continue;
+            free = true;
+            break;
+        }
         if (!free)
             continue;
         best = std::min(best, statsFor(c, netId, batch).seconds() * 1e6);
@@ -458,6 +589,30 @@ ServingEngine::minFreeAtUs() const
     for (const auto &replica : replicas_)
         earliest = std::min(earliest, replica.freeAt);
     return earliest;
+}
+
+double
+ServingEngine::earliestReadyUs()
+{
+    if (timeline_ == nullptr)
+        return minFreeAtUs();
+    double earliest = std::numeric_limits<double>::infinity();
+    for (std::size_t r = 0; r < replicas_.size(); ++r) {
+        earliest = std::min(
+            earliest, timeline_->upAfter(r, replicas_[r].freeAt));
+    }
+    return earliest;
+}
+
+std::size_t
+ServingEngine::upReplicaCount(double now)
+{
+    if (timeline_ == nullptr)
+        return replicas_.size();
+    std::size_t up = 0;
+    for (std::size_t r = 0; r < replicas_.size(); ++r)
+        up += timeline_->upAt(r, now) ? 1 : 0;
+    return up;
 }
 
 std::size_t
@@ -562,6 +717,14 @@ class ServingEngine::LoopContext : public SchedulerContext
     unsigned maxBatch() const override { return cap_; }
     double windowUs() const override { return engine_.opts_.maxWaitUs; }
     double sloBudgetUs() const override { return engine_.opts_.sloBudgetUs; }
+    std::size_t totalReplicas() const override
+    {
+        return engine_.replicas_.size();
+    }
+    std::size_t upReplicas() const override
+    {
+        return engine_.upReplicaCount(now_);
+    }
 
     /** The engine advances this to each plan's virtual time. */
     void setNow(double now) { now_ = now; }
@@ -601,6 +764,27 @@ ServingEngine::runLoop(std::vector<InferenceRequest> initial,
         policy->validate(knobs);
     }
 
+    // The fault era: any fault source or retry/hedge knob switches
+    // on loss handling and the availability report. Every new
+    // branch below is gated on it (or on the timeline pointer) so a
+    // dormant run takes exactly the pre-fault code path and keeps
+    // its report bytes.
+    const bool faultEra =
+        opts_.faults.active() || opts_.retry.active();
+    std::optional<FaultTimeline> timeline;
+    if (faultEra) {
+        opts_.faults.validate(replicas_.size());
+        opts_.retry.validate();
+        if (opts_.retry.hedgingEnabled() && replicas_.size() < 2) {
+            BF_FATAL("hedged dispatch needs at least two replicas, "
+                     "the fleet has ",
+                     replicas_.size());
+        }
+        if (opts_.faults.active())
+            timeline.emplace(opts_.faults, replicas_.size());
+    }
+    timeline_ = timeline ? &*timeline : nullptr;
+
     // Report "compiles" as misses this run resolved, whether by an
     // actual compile or by a persistent-store load: the count is
     // then a pure function of the workload, so a warm store leaves
@@ -622,6 +806,8 @@ ServingEngine::runLoop(std::vector<InferenceRequest> initial,
         opts_.maxQueueDepth > 0 || opts_.shedUnmeetable;
     report.streamingStats = opts_.streamingStats;
     report.activeWindow = opts_.activeWindowStats;
+    report.faultReport = faultEra;
+    report.switchReport = opts_.switchPenaltyUs > 0.0;
 
     FutureQueue future(ArrivalAfter{}, std::move(initial));
     std::deque<InferenceRequest> queue;
@@ -633,6 +819,27 @@ ServingEngine::runLoop(std::vector<InferenceRequest> initial,
     LoopContext ctx(*this, queue, future, cap);
 
     double firstArrival = std::numeric_limits<double>::infinity();
+
+    // Retry bookkeeping: a lost request re-enters the future queue
+    // under its original id; this side table carries its first
+    // arrival (a recovered request's latency spans every attempt)
+    // and its consumed dispatches until it serves or is abandoned.
+    struct RetryState
+    {
+        double originalArrivalUs = 0.0;
+        /** Dispatches consumed (and lost) so far. */
+        unsigned attempts = 0;
+    };
+    std::unordered_map<std::uint64_t, RetryState> retrying;
+    // Seeded jitter for retry backoff, derived from the fault seed
+    // and drawn in loss order (virtual-time order), so a fixed seed
+    // reproduces every backoff bit-exactly.
+    Prng retryJitter(Prng(opts_.faults.seed ^ 0x7265747279ULL).next());
+    // Running p99 of completed batch latencies; the p99-derived
+    // hedge delay trusts it after a short warmup.
+    P2Quantile hedgeP99(0.99);
+    const bool hedgeOnP99 = opts_.retry.hedgeP99Multiplier > 0.0;
+    constexpr std::size_t kHedgeWarmup = 16;
 
     // Admission gate: pops the earliest future arrival and either
     // enqueues it (true) or sheds it (false). Depth shedding bounds
@@ -646,14 +853,28 @@ ServingEngine::runLoop(std::vector<InferenceRequest> initial,
         future.pop();
         validateRequest(req, cap);
         firstArrival = std::min(firstArrival, req.arrivalUs);
+        if (faultEra) {
+            // A re-entering retry was already admitted (and counted
+            // issued) on its first arrival; it bypasses admission so
+            // a degraded fleet cannot shed work it has accepted.
+            if (retrying.find(req.id) != retrying.end()) {
+                queue.push_back(std::move(req));
+                return true;
+            }
+            ++report.requestsIssued;
+        }
         bool depthShed = false;
         bool deadlineShed = false;
         if (opts_.maxQueueDepth > 0 &&
             queue.size() >= opts_.maxQueueDepth) {
             depthShed = true;
         } else if (opts_.shedUnmeetable && req.deadlineUs > 0.0) {
-            deadlineShed =
-                std::max(req.arrivalUs, minFreeAtUs()) > req.deadlineUs;
+            // The dispatch oracle accounts for capacity loss: a
+            // replica inside an outage cannot free up before it
+            // recovers, so deadlines that only an up fleet could
+            // meet shed here during the outage.
+            deadlineShed = std::max(req.arrivalUs,
+                                    earliestReadyUs()) > req.deadlineUs;
         }
         if (!depthShed && !deadlineShed) {
             queue.push_back(std::move(req));
@@ -662,7 +883,11 @@ ServingEngine::runLoop(std::vector<InferenceRequest> initial,
         ++report.shedRequests;
         report.shedByDepth += depthShed ? 1 : 0;
         report.shedByDeadline += deadlineShed ? 1 : 0;
-        const double shedAt = std::max(req.arrivalUs, minFreeAtUs());
+        if (timeline_ != nullptr &&
+            timeline_->anyDownAt(req.arrivalUs))
+            ++report.shedDegraded;
+        const double shedAt =
+            std::max(req.arrivalUs, earliestReadyUs());
         std::vector<InferenceRequest> replacements;
         onShed(req, shedAt, replacements);
         for (auto &r : replacements)
@@ -677,14 +902,46 @@ ServingEngine::runLoop(std::vector<InferenceRequest> initial,
     };
 
     while (!queue.empty() || !future.empty()) {
-        // The earliest-free replica sets the planning clock (ties go
-        // to the lowest index).
+        // The earliest-ready replica sets the planning clock (ties
+        // go to the lowest index); under faults "ready" means both
+        // free of work and outside any outage.
         std::size_t planner = 0;
+        double plannerReady =
+            timeline_ == nullptr
+                ? replicas_[0].freeAt
+                : timeline_->upAfter(0, replicas_[0].freeAt);
         for (std::size_t r = 1; r < replicas_.size(); ++r) {
-            if (replicas_[r].freeAt < replicas_[planner].freeAt)
+            const double ready =
+                timeline_ == nullptr
+                    ? replicas_[r].freeAt
+                    : timeline_->upAfter(r, replicas_[r].freeAt);
+            if (ready < plannerReady) {
                 planner = r;
+                plannerReady = ready;
+            }
         }
-        double now = replicas_[planner].freeAt;
+        double now = plannerReady;
+        if (faultEra && std::isinf(now)) {
+            // Every replica is permanently down: nothing pending can
+            // ever be served again. Count the stranded requests as
+            // abandoned -- without handing closed-loop clients a
+            // next request, which would reissue into the dead fleet
+            // forever -- and stop.
+            std::size_t stranded = queue.size();
+            report.requestsAbandoned += queue.size();
+            queue.clear();
+            while (!future.empty()) {
+                if (retrying.find(future.top().id) == retrying.end())
+                    ++report.requestsIssued;
+                ++report.requestsAbandoned;
+                ++stranded;
+                future.pop();
+            }
+            retrying.clear();
+            BF_WARN("serving fleet is permanently down; abandoning ",
+                    stranded, " pending requests");
+            break;
+        }
         if (queue.empty())
             now = std::max(now, future.top().arrivalUs);
         absorb(now);
@@ -706,108 +963,330 @@ ServingEngine::runLoop(std::vector<InferenceRequest> initial,
         BF_ASSERT(planSamples == plan.samples);
         BF_ASSERT(planSamples <= cap);
 
-        // Route to the free replica whose platform serves this
-        // network cheapest (ties go to the lowest index); the
-        // planning replica is free, so one always qualifies.
+        // Route to the free (and up) replica whose platform serves
+        // this network cheapest (ties go to the lowest index); with
+        // the switch penalty active, a candidate that would have to
+        // reload weights bids its reload cost too. Under faults the
+        // whole batch slides later when no replica is up and free at
+        // the planned departure; a slide to infinity means the fleet
+        // died for good mid-plan, so the members are abandoned.
         std::size_t chosen = planner;
-        double chosenLat = std::numeric_limits<double>::infinity();
-        for (std::size_t r = 0; r < replicas_.size(); ++r) {
-            if (replicas_[r].freeAt > dispatch)
-                continue;
-            const RunStats &candidate =
-                statsFor(replicas_[r].cls, netId, planSamples);
-            const double lat = candidate.seconds() * 1e6;
-            if (lat < chosenLat) {
-                chosenLat = lat;
-                chosen = r;
+        double chosenCost = std::numeric_limits<double>::infinity();
+        bool strandedBatch = false;
+        for (;;) {
+            for (std::size_t r = 0; r < replicas_.size(); ++r) {
+                if (replicas_[r].freeAt > dispatch)
+                    continue;
+                if (timeline_ != nullptr &&
+                    !timeline_->upAt(r, dispatch))
+                    continue;
+                const RunStats &candidate =
+                    statsFor(replicas_[r].cls, netId, planSamples);
+                double cost = candidate.seconds() * 1e6;
+                if (opts_.switchPenaltyUs > 0.0 &&
+                    replicas_[r].lastNetId != netId)
+                    cost += opts_.switchPenaltyUs;
+                if (cost < chosenCost) {
+                    chosenCost = cost;
+                    chosen = r;
+                }
+            }
+            if (std::isfinite(chosenCost))
+                break;
+            BF_ASSERT(timeline_ != nullptr);
+            double slide = std::numeric_limits<double>::infinity();
+            for (std::size_t r = 0; r < replicas_.size(); ++r) {
+                slide = std::min(
+                    slide,
+                    timeline_->upAfter(
+                        r, std::max(replicas_[r].freeAt, dispatch)));
+            }
+            if (std::isinf(slide)) {
+                strandedBatch = true;
+                break;
+            }
+            dispatch = slide;
+        }
+        if (strandedBatch) {
+            report.requestsAbandoned += plan.members.size();
+            for (std::size_t i : plan.members)
+                retrying.erase(queue[i].id);
+            eraseMembers(queue, plan.members);
+            continue;
+        }
+
+        // Dispatch: charge the chosen platform's simulated latency,
+        // plus the reload penalty when the replica changes networks
+        // (a cold replica's first batch pays it too).
+        Replica &replica = replicas_[chosen];
+        const RunStats &rs = statsFor(replica.cls, netId, planSamples);
+        const double computeUs = rs.seconds() * 1e6;
+        const bool switched = opts_.switchPenaltyUs > 0.0 &&
+                              replica.lastNetId != netId;
+        double latencyUs = computeUs;
+        if (switched) {
+            latencyUs += opts_.switchPenaltyUs;
+            ++report.networkSwitches;
+            report.switchPenaltyTotalUs += opts_.switchPenaltyUs;
+        }
+        replica.lastNetId = netId;
+        const double finish = dispatch + latencyUs;
+
+        // Resolve the dispatch against the fault timeline: an
+        // outage opening strictly inside (dispatch, finish)
+        // destroys the batch at that instant.
+        double failAt = std::numeric_limits<double>::infinity();
+        if (timeline_ != nullptr) {
+            failAt =
+                timeline_->nextDownWithin(chosen, dispatch, finish);
+        }
+        const bool primaryLost = failAt < finish;
+
+        // Hedge: when the primary is still unresolved after the
+        // hedge delay, duplicate the batch onto the cheapest other
+        // up-and-free replica. The first completion wins; the loser
+        // is cancelled at that instant and its burned compute is
+        // charged as waste, not busy time.
+        bool hedged = false;
+        bool hedgeLost = false;
+        std::size_t hedgeReplica = 0;
+        double hedgeDispatch = 0.0;
+        double hedgeFinish = std::numeric_limits<double>::infinity();
+        double hedgeFailAt = std::numeric_limits<double>::infinity();
+        double hedgeLatencyUs = 0.0;
+        double hedgeEnergyJ = 0.0;
+        if (faultEra && opts_.retry.hedgingEnabled()) {
+            double delay = opts_.retry.hedgeDelayUs;
+            if (hedgeOnP99) {
+                delay = hedgeP99.count() >= kHedgeWarmup
+                            ? opts_.retry.hedgeP99Multiplier *
+                                  hedgeP99.value()
+                            : -1.0;
+            }
+            const double outcomeAt = primaryLost ? failAt : finish;
+            if (delay >= 0.0 && dispatch + delay < outcomeAt) {
+                const double hedgeAt = dispatch + delay;
+                double bestCost =
+                    std::numeric_limits<double>::infinity();
+                for (std::size_t r = 0; r < replicas_.size(); ++r) {
+                    if (r == chosen ||
+                        replicas_[r].freeAt > hedgeAt)
+                        continue;
+                    if (timeline_ != nullptr &&
+                        !timeline_->upAt(r, hedgeAt))
+                        continue;
+                    const RunStats &candidate =
+                        statsFor(replicas_[r].cls, netId,
+                                 planSamples);
+                    double cost = candidate.seconds() * 1e6;
+                    if (opts_.switchPenaltyUs > 0.0 &&
+                        replicas_[r].lastNetId != netId)
+                        cost += opts_.switchPenaltyUs;
+                    if (cost < bestCost) {
+                        bestCost = cost;
+                        hedgeReplica = r;
+                    }
+                }
+                if (std::isfinite(bestCost)) {
+                    hedged = true;
+                    Replica &hr = replicas_[hedgeReplica];
+                    const RunStats &hs =
+                        statsFor(hr.cls, netId, planSamples);
+                    hedgeLatencyUs = hs.seconds() * 1e6;
+                    if (opts_.switchPenaltyUs > 0.0 &&
+                        hr.lastNetId != netId) {
+                        hedgeLatencyUs += opts_.switchPenaltyUs;
+                        ++report.networkSwitches;
+                        report.switchPenaltyTotalUs +=
+                            opts_.switchPenaltyUs;
+                    }
+                    hr.lastNetId = netId;
+                    hedgeDispatch = hedgeAt;
+                    hedgeFinish = hedgeAt + hedgeLatencyUs;
+                    hedgeEnergyJ = hs.energy().totalJ();
+                    if (timeline_ != nullptr) {
+                        hedgeFailAt = timeline_->nextDownWithin(
+                            hedgeReplica, hedgeAt, hedgeFinish);
+                    }
+                    hedgeLost = hedgeFailAt < hedgeFinish;
+                }
             }
         }
 
-        // Dispatch: charge the chosen platform's simulated latency.
-        Replica &replica = replicas_[chosen];
-        const RunStats &rs = statsFor(replica.cls, netId, planSamples);
-        const double latencyUs = rs.seconds() * 1e6;
-        const double finish = dispatch + latencyUs;
-        replica.freeAt = finish;
-        replica.batches += 1;
-        replica.samples += planSamples;
-        replica.busyUs += latencyUs;
-        replica.energyJ += rs.energy().totalJ();
-        report.energyJ += rs.energy().totalJ();
-        report.totalSamples += planSamples;
-        report.makespanUs = std::max(report.makespanUs, finish);
-        report.batchCount += 1;
-        if (opts_.retainRecords) {
-            BatchRecord batch;
-            batch.network = plan.network;
-            batch.samples = planSamples;
-            batch.requests = plan.members.size();
-            batch.dispatchUs = dispatch;
-            batch.latencyUs = latencyUs;
-            batch.replica = static_cast<unsigned>(chosen);
-            report.batches.push_back(std::move(batch));
+        // First completion wins (the primary wins exact ties).
+        const bool hedgeWins = hedged && !hedgeLost &&
+                               (primaryLost || hedgeFinish < finish);
+        const bool completed = !primaryLost || hedgeWins;
+        const double doneAt = hedgeWins ? hedgeFinish : finish;
+        const std::size_t serveReplica =
+            hedgeWins ? hedgeReplica : chosen;
+
+        // Settle the primary replica: useful compute counts as busy
+        // time and energy; destroyed or cancelled compute counts as
+        // waste and charges nothing.
+        if (primaryLost) {
+            replica.freeAt = timeline_->upAfter(chosen, failAt);
+            replica.wastedUs += failAt - dispatch;
+            replica.lostBatches += 1;
+            ++report.lostBatches;
+        } else if (hedgeWins) {
+            replica.freeAt = doneAt;
+            replica.wastedUs += doneAt - dispatch;
+        } else {
+            replica.freeAt = finish;
+            replica.batches += 1;
+            replica.samples += planSamples;
+            replica.busyUs += latencyUs;
+            replica.energyJ += rs.energy().totalJ();
+        }
+
+        // Settle the hedge replica.
+        bool hedgeDied = false;
+        if (hedged) {
+            Replica &hr = replicas_[hedgeReplica];
+            if (hedgeWins) {
+                hr.freeAt = hedgeFinish;
+                hr.batches += 1;
+                hr.samples += planSamples;
+                hr.busyUs += hedgeLatencyUs;
+                hr.energyJ += hedgeEnergyJ;
+            } else if (hedgeLost &&
+                       (!completed || hedgeFailAt <= doneAt)) {
+                // Its replica died under it before the primary
+                // completed.
+                hedgeDied = true;
+                hr.freeAt =
+                    timeline_->upAfter(hedgeReplica, hedgeFailAt);
+                hr.wastedUs += hedgeFailAt - hedgeDispatch;
+                hr.lostBatches += 1;
+                ++report.lostBatches;
+            } else {
+                // Cancelled when the primary completed first.
+                hr.freeAt = doneAt;
+                hr.wastedUs += doneAt - hedgeDispatch;
+            }
+        }
+
+        if (completed) {
+            report.energyJ +=
+                hedgeWins ? hedgeEnergyJ : rs.energy().totalJ();
+            report.totalSamples += planSamples;
+            report.makespanUs = std::max(report.makespanUs, doneAt);
+            report.batchCount += 1;
+            if (hedgeOnP99) {
+                hedgeP99.add(doneAt - (hedgeWins ? hedgeDispatch
+                                                 : dispatch));
+            }
+            if (opts_.retainRecords) {
+                BatchRecord batch;
+                batch.network = plan.network;
+                batch.samples = planSamples;
+                batch.requests = plan.members.size();
+                batch.dispatchUs =
+                    hedgeWins ? hedgeDispatch : dispatch;
+                batch.latencyUs =
+                    hedgeWins ? hedgeLatencyUs : latencyUs;
+                batch.replica = static_cast<unsigned>(serveReplica);
+                report.batches.push_back(std::move(batch));
+            }
         }
 
         std::vector<InferenceRequest> injected;
-        for (std::size_t i : plan.members) {
-            RequestRecord rec;
-            rec.request = queue[i];
-            rec.dispatchUs = dispatch;
-            rec.finishUs = finish;
-            rec.batchSamples = planSamples;
-            rec.replica = static_cast<unsigned>(chosen);
-            rec.deadlineMissed = rec.request.deadlineUs > 0.0 &&
-                                 dispatch > rec.request.deadlineUs;
-            if (rec.deadlineMissed)
-                ++report.deadlineMisses;
-            report.requestCount += 1;
-            if (opts_.streamingStats) {
-                report.latencyStream.add(rec.latencyUs());
-                report.queueStream.add(rec.queueUs());
-            } else {
-                report.latencySamples.push_back(rec.latencyUs());
-                report.queueSamples.push_back(rec.queueUs());
+        if (completed) {
+            for (std::size_t i : plan.members) {
+                RequestRecord rec;
+                rec.request = queue[i];
+                rec.dispatchUs = dispatch;
+                rec.finishUs = doneAt;
+                rec.batchSamples = planSamples;
+                rec.replica = static_cast<unsigned>(serveReplica);
+                if (faultEra) {
+                    const auto it = retrying.find(rec.request.id);
+                    if (it != retrying.end()) {
+                        // A recovered request's latency spans every
+                        // attempt since its first arrival.
+                        rec.request.arrivalUs =
+                            it->second.originalArrivalUs;
+                        rec.attempts = it->second.attempts + 1;
+                        rec.recovered = true;
+                        ++report.requestsRecovered;
+                        retrying.erase(it);
+                    }
+                    rec.hedged = hedged;
+                    if (hedged) {
+                        ++report.hedgesIssued;
+                        if (hedgeWins)
+                            ++report.hedgesWon;
+                        else if (hedgeDied)
+                            ++report.hedgesLost;
+                        else
+                            ++report.hedgesCancelled;
+                    }
+                }
+                rec.deadlineMissed =
+                    rec.request.deadlineUs > 0.0 &&
+                    dispatch > rec.request.deadlineUs;
+                if (rec.deadlineMissed)
+                    ++report.deadlineMisses;
+                report.requestCount += 1;
+                if (opts_.streamingStats) {
+                    report.latencyStream.add(rec.latencyUs());
+                    report.queueStream.add(rec.queueUs());
+                } else {
+                    report.latencySamples.push_back(rec.latencyUs());
+                    report.queueSamples.push_back(rec.queueUs());
+                }
+                onFinish(rec, injected);
+                if (opts_.retainRecords)
+                    report.requests.push_back(std::move(rec));
             }
-            onFinish(rec, injected);
-            if (opts_.retainRecords)
-                report.requests.push_back(std::move(rec));
+        } else {
+            // The batch is gone: every member either re-enters the
+            // queue after its backoff or is abandoned when its
+            // attempts or the global retry budget run out.
+            const double lostAt =
+                hedged ? std::max(failAt, hedgeFailAt) : failAt;
+            for (std::size_t i : plan.members) {
+                InferenceRequest req = queue[i];
+                const auto emplaced = retrying.try_emplace(req.id);
+                RetryState &st = emplaced.first->second;
+                if (emplaced.second)
+                    st.originalArrivalUs = req.arrivalUs;
+                st.attempts += 1;
+                ++report.requestLossEvents;
+                if (hedged) {
+                    ++report.hedgesIssued;
+                    ++report.hedgesLost;
+                }
+                const bool canRetry =
+                    opts_.retry.maxAttempts > st.attempts &&
+                    (opts_.retry.retryBudget == 0 ||
+                     report.retriesIssued < opts_.retry.retryBudget);
+                if (canRetry) {
+                    ++report.retriesIssued;
+                    double backoff =
+                        opts_.retry.backoffBaseUs *
+                        std::ldexp(1.0,
+                                   static_cast<int>(st.attempts) - 1);
+                    if (opts_.retry.jitterFrac > 0.0) {
+                        backoff *= 1.0 + opts_.retry.jitterFrac *
+                                             retryJitter.nextDouble();
+                    }
+                    req.arrivalUs = lostAt + backoff;
+                    injected.push_back(std::move(req));
+                } else {
+                    ++report.requestsAbandoned;
+                    retrying.erase(req.id);
+                    // A closed-loop client whose request died gives
+                    // up here and issues its next one.
+                    onShed(req, lostAt, injected);
+                }
+            }
         }
         for (auto &req : injected)
             future.push(std::move(req));
 
-        // Remove the dispatched members with one stable span erase:
-        // survivors inside [first, last] compact down, then the gap
-        // at the span's tail erases once. deque::erase shifts
-        // whichever side of the deque is smaller, so the common
-        // front-clustered FIFO batch costs O(members) amortized
-        // instead of the old rebuild-the-whole-deque O(queue).
-        std::vector<std::size_t> members = plan.members;
-        std::sort(members.begin(), members.end());
-        for (std::size_t m = 1; m < members.size(); ++m)
-            BF_ASSERT(members[m] != members[m - 1]);
-        const std::size_t first = members.front();
-        const std::size_t last = members.back();
-        if (last - first + 1 == members.size()) {
-            // Contiguous members: erase the span directly.
-            queue.erase(queue.begin() +
-                            static_cast<std::ptrdiff_t>(first),
-                        queue.begin() +
-                            static_cast<std::ptrdiff_t>(last + 1));
-        } else {
-            std::size_t write = first;
-            std::size_t next = 0;
-            for (std::size_t i = first; i <= last; ++i) {
-                if (next < members.size() && members[next] == i) {
-                    ++next;
-                    continue;
-                }
-                queue[write++] = std::move(queue[i]);
-            }
-            queue.erase(queue.begin() +
-                            static_cast<std::ptrdiff_t>(write),
-                        queue.begin() +
-                            static_cast<std::ptrdiff_t>(last + 1));
-        }
+        eraseMembers(queue, plan.members);
     }
 
     std::stable_sort(report.requests.begin(), report.requests.end(),
@@ -817,7 +1296,8 @@ ServingEngine::runLoop(std::vector<InferenceRequest> initial,
     report.firstArrivalUs =
         std::isfinite(firstArrival) ? firstArrival : 0.0;
     const double utilizationWindowUs = report.throughputWindowUs();
-    for (const auto &replica : replicas_) {
+    for (std::size_t r = 0; r < replicas_.size(); ++r) {
+        const Replica &replica = replicas_[r];
         ReplicaUsage usage;
         usage.platform = classes_[replica.cls].spec.name;
         usage.batches = replica.batches;
@@ -827,8 +1307,25 @@ ServingEngine::runLoop(std::vector<InferenceRequest> initial,
                                 ? replica.busyUs / utilizationWindowUs
                                 : 0.0;
         usage.energyJ = replica.energyJ;
+        if (faultEra) {
+            usage.lostBatches = replica.lostBatches;
+            usage.wastedUs = replica.wastedUs;
+            if (timeline_ != nullptr)
+                usage.downUs =
+                    timeline_->downUsWithin(r, report.makespanUs);
+            report.fleetDownUs += usage.downUs;
+        }
         report.replicas.push_back(std::move(usage));
     }
+    if (timeline_ != nullptr) {
+        report.lastRecoveryUs =
+            timeline_->lastRecoveryBefore(report.makespanUs);
+        report.drainAfterRecoveryUs =
+            report.lastRecoveryUs > 0.0
+                ? report.makespanUs - report.lastRecoveryUs
+                : 0.0;
+    }
+    timeline_ = nullptr;
     report.distinctBatchShapes = memoSize() - shapesBefore;
     report.compiles = cache_->compileCount() +
                       cache_->storeHitCount() - compilesBefore;

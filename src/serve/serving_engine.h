@@ -50,6 +50,7 @@
 #include "src/core/platform_registry.h"
 #include "src/core/stats.h"
 #include "src/dnn/model_zoo.h"
+#include "src/serve/faults.h"
 #include "src/serve/trace.h"
 
 namespace bitfusion {
@@ -137,6 +138,28 @@ struct ServeOptions
      * keep the virtual-time-0 definition.
      */
     bool activeWindowStats = false;
+    /**
+     * Deterministic fault model (src/serve/faults.h): explicit and
+     * seeded replica outages on the virtual clock. A replica dying
+     * strictly inside a batch's (dispatch, finish) window destroys
+     * the batch; the retry policy below decides what happens to its
+     * requests. Inactive by default, leaving behavior and report
+     * bytes untouched.
+     */
+    FaultSpec faults;
+    /**
+     * Retry / hedging policy for fault-destroyed batches (and
+     * optional hedged duplicate dispatch). Inactive by default.
+     */
+    RetryPolicy retry;
+    /**
+     * Microseconds charged on top of a batch's compute latency when
+     * the serving replica's previous batch ran a different network
+     * (weight reload / reconfiguration); a replica's first batch
+     * pays it too (cold start). 0 disables the model and keeps the
+     * locked goldens byte-identical.
+     */
+    double switchPenaltyUs = 0.0;
 };
 
 /** Closed-loop benchmark: clients with one outstanding request. */
@@ -171,6 +194,12 @@ struct RequestRecord
     unsigned replica = 0;
     /** True when dispatch happened after the request's deadline. */
     bool deadlineMissed = false;
+    /** Dispatch attempts consumed, the successful one included. */
+    unsigned attempts = 1;
+    /** True when a hedged duplicate dispatch covered this request. */
+    bool hedged = false;
+    /** True when a fault lost the request before it finally served. */
+    bool recovered = false;
 
     /** Time spent queued before dispatch. */
     double queueUs() const { return dispatchUs - request.arrivalUs; }
@@ -206,6 +235,12 @@ struct ReplicaUsage
     double utilization = 0.0;
     /** Summed simulated energy of its batches. */
     double energyJ = 0.0;
+    /** Down time within [0, makespan] (fault runs only). */
+    double downUs = 0.0;
+    /** Dispatches a fault destroyed on this replica. */
+    std::size_t lostBatches = 0;
+    /** Compute time spent on lost or cancelled dispatches. */
+    double wastedUs = 0.0;
 };
 
 /** Latency summary (nearest-rank percentiles). */
@@ -258,8 +293,17 @@ struct ServeReport
     std::size_t shedByDepth = 0;
     /** Sheds charged to an unmeetable deadline at enqueue. */
     std::size_t shedByDeadline = 0;
+    /** Sheds that happened while at least one replica was down
+     *  (capacity loss, not pure overload; fault runs only). */
+    std::size_t shedDegraded = 0;
     /** True when the run had admission control enabled. */
     bool admissionControl = false;
+    /** True when a fault model or retry policy was active; gates
+     *  the availability section so dormant runs keep their exact
+     *  report bytes. */
+    bool faultReport = false;
+    /** True when the network-switch penalty model was active. */
+    bool switchReport = false;
     /** True when latencies were summarized by the P2 estimator. */
     bool streamingStats = false;
     /** True when throughput uses the active-window definition. */
@@ -287,6 +331,44 @@ struct ServeReport
     /** Distinct (class, network, batch-size) simulations added. */
     std::size_t distinctBatchShapes = 0;
 
+    // Availability accounting (fault runs; see docs/serving.md).
+    // The identity requestsIssued == requestCount + shedRequests +
+    // requestsAbandoned holds exactly on every run.
+    /** Distinct requests that entered the system. */
+    std::size_t requestsIssued = 0;
+    /** Times a request was in a fault-destroyed dispatch (one
+     *  request can be lost more than once). */
+    std::size_t requestLossEvents = 0;
+    /** Requests lost for good: retries exhausted, denied by the
+     *  retry budget, or stranded on a permanently dead fleet. */
+    std::size_t requestsAbandoned = 0;
+    /** Requests that were lost at least once and then served. */
+    std::size_t requestsRecovered = 0;
+    /** Re-dispatches issued by the retry policy. */
+    std::size_t retriesIssued = 0;
+    /** Requests covered by a hedged duplicate dispatch. */
+    std::size_t hedgesIssued = 0;
+    /** Hedged requests whose hedge completed first. */
+    std::size_t hedgesWon = 0;
+    /** Hedges cancelled because the primary completed first. */
+    std::size_t hedgesCancelled = 0;
+    /** Hedges destroyed by a fault on the hedge replica. */
+    std::size_t hedgesLost = 0;
+    /** Dispatches destroyed by a replica dying mid-compute. */
+    std::size_t lostBatches = 0;
+    /** Summed per-replica down time within [0, makespan]. */
+    double fleetDownUs = 0.0;
+    /** Latest outage recovery at or before the makespan. */
+    double lastRecoveryUs = 0.0;
+    /** Makespan minus the last recovery: how long the fleet took to
+     *  drain the backlog after its final outage ended. */
+    double drainAfterRecoveryUs = 0.0;
+    /** Batches whose replica had to reload weights for a different
+     *  network (switch-penalty runs only). */
+    std::size_t networkSwitches = 0;
+    /** Total switch penalty charged across the run. */
+    double switchPenaltyTotalUs = 0.0;
+
     Percentiles latencyUs() const;
     Percentiles queueUs() const;
     /**
@@ -296,6 +378,12 @@ struct ServeReport
     double throughputWindowUs() const;
     double requestsPerSec() const;
     double samplesPerSec() const;
+    /** Offered load: issued requests over the throughput window. */
+    double offeredRequestsPerSec() const;
+    /** Served fraction of the issued requests (goodput / offered). */
+    double goodput() const;
+    /** Mean fleet up-fraction over [0, makespan]. */
+    double fleetAvailability() const;
     /** Mean occupied fraction of the dispatched batches. */
     double batchFill() const;
     /**
@@ -368,6 +456,9 @@ class ServingEngine
         std::vector<std::map<unsigned, RunStats>> memo;
     };
 
+    /** Sentinel for "no network served yet" (a cold replica). */
+    static constexpr unsigned kNoNetwork = ~0u;
+
     struct Replica
     {
         std::size_t cls = 0;
@@ -376,6 +467,13 @@ class ServingEngine
         std::uint64_t samples = 0;
         double busyUs = 0.0;
         double energyJ = 0.0;
+        /** Interned id of the last network dispatched here (switch
+         *  penalty and warm-up accounting). */
+        unsigned lastNetId = kNoNetwork;
+        /** Dispatches a fault destroyed on this replica. */
+        std::size_t lostBatches = 0;
+        /** Compute time lost to destroyed or cancelled dispatches. */
+        double wastedUs = 0.0;
     };
 
     /** Interned id of a catalog network; fatal when unknown. */
@@ -386,11 +484,17 @@ class ServingEngine
     const Platform &platformFor(std::size_t cls, unsigned batch);
     const RunStats &statsFor(std::size_t cls, unsigned netId,
                              unsigned batch);
-    /** Min simulated latency over classes with a free replica. */
+    /** Min simulated latency over classes with an up, free replica
+     *  (down replicas are excluded from the scheduler's oracle). */
     double cheapestFreeLatencyUs(unsigned netId, unsigned batch,
                                  double now);
     /** Earliest virtual time any replica frees up. */
     double minFreeAtUs() const;
+    /** Earliest virtual time any replica is both free and up
+     *  (equals minFreeAtUs without an active fault model). */
+    double earliestReadyUs();
+    /** Replicas not inside a fault outage at @p now. */
+    std::size_t upReplicaCount(double now);
     std::size_t memoSize() const;
     std::string fleetName() const;
     void validateRequest(const InferenceRequest &req, unsigned cap) const;
@@ -408,6 +512,9 @@ class ServingEngine
     ArtifactCache *cache_;
     std::vector<PlatformClass> classes_;
     std::vector<Replica> replicas_;
+    /** The running fault timeline; non-null only inside a runLoop
+     *  with an active fault model. */
+    FaultTimeline *timeline_ = nullptr;
 };
 
 } // namespace serve

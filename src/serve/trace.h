@@ -113,10 +113,15 @@ std::vector<InferenceRequest> syntheticTrace(const TraceSpec &spec);
 std::string formatTrace(const std::vector<InferenceRequest> &trace);
 
 /**
- * Parse the trace file format above; fatal on malformed lines or
- * out-of-order arrivals. Ids are assigned in line order.
+ * Parse the trace file format above; fatal -- with @p source and the
+ * line number as file:line context -- on a malformed or truncated
+ * field, a non-numeric time, a trailing column, or out-of-order
+ * arrivals. Every field is parsed as a full token, so "12abc" is an
+ * error rather than 12. Ids are assigned in line order.
  */
-std::vector<InferenceRequest> parseTrace(const std::string &text);
+std::vector<InferenceRequest>
+parseTrace(const std::string &text,
+           const std::string &source = "<trace>");
 
 } // namespace serve
 } // namespace bitfusion

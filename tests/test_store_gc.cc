@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Artifact-store GC tests: age-ranked eviction down to a byte
+ * budget, the only-valid-records rule (in-flight temp files, corrupt
+ * records, and foreign files are never deleted), dry-run inertness,
+ * and deterministic ranking for a fixed tree. Suites are prefixed
+ * Store so the TSan CI job's filter covers this file too.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/core/artifact_store.h"
+
+namespace bitfusion {
+namespace {
+
+namespace fs = std::filesystem;
+
+/** Unique store root under the system temp dir, removed on exit. */
+struct TempDir
+{
+    std::string path;
+
+    TempDir()
+    {
+        static std::atomic<unsigned> seq{0};
+        path = (fs::temp_directory_path() /
+                ("bitfusion-gc-test." + std::to_string(::getpid()) +
+                 "." + std::to_string(seq.fetch_add(1))))
+                   .string();
+        std::error_code ec;
+        fs::remove_all(path, ec);
+    }
+
+    ~TempDir()
+    {
+        std::error_code ec;
+        fs::remove_all(path, ec);
+    }
+};
+
+void
+writeFile(const std::string &path, const std::string &bytes)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out.good()) << path;
+    out.write(bytes.data(),
+              static_cast<std::streamsize>(bytes.size()));
+    ASSERT_TRUE(out.good()) << path;
+}
+
+/**
+ * Publish @p n records of @p payloadBytes each and pin their
+ * modification times to a strict age order (key-0 oldest), so the
+ * eviction ranking is deterministic regardless of how fast the
+ * filesystem stamped the writes.
+ */
+std::vector<std::string>
+seedRecords(const ArtifactStore &store, std::size_t n,
+            std::size_t payloadBytes)
+{
+    std::vector<std::string> keys;
+    const auto base = fs::file_time_type::clock::now() -
+                      std::chrono::hours(24);
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::string key = "key-" + std::to_string(i);
+        EXPECT_TRUE(
+            store.publish(key, std::string(payloadBytes, 'a')));
+        std::error_code ec;
+        fs::last_write_time(store.pathFor(key),
+                            base + std::chrono::minutes(i), ec);
+        EXPECT_FALSE(ec) << key;
+        keys.push_back(key);
+    }
+    return keys;
+}
+
+TEST(StoreGc, UnderBudgetEvictsNothing)
+{
+    TempDir dir;
+    ArtifactStore store(dir.path);
+    seedRecords(store, 4, 100);
+
+    const auto result = store.gc(1 << 20);
+    EXPECT_EQ(result.scanned, 4u);
+    EXPECT_EQ(result.evicted, 0u);
+    EXPECT_EQ(result.retained, 4u);
+    EXPECT_EQ(result.skipped, 0u);
+    for (std::size_t i = 0; i < 4; ++i)
+        EXPECT_TRUE(store.load("key-" + std::to_string(i)));
+}
+
+TEST(StoreGc, OverBudgetEvictsOldestFirst)
+{
+    TempDir dir;
+    ArtifactStore store(dir.path);
+    const auto keys = seedRecords(store, 6, 200);
+    const std::uint64_t recordBytes =
+        fs::file_size(store.pathFor(keys[0]));
+
+    // Budget for exactly three records: the three oldest go.
+    const auto result = store.gc(3 * recordBytes);
+    EXPECT_EQ(result.scanned, 6u);
+    EXPECT_EQ(result.evicted, 3u);
+    EXPECT_EQ(result.evictedBytes, 3 * recordBytes);
+    EXPECT_EQ(result.retained, 3u);
+    EXPECT_EQ(result.retainedBytes, 3 * recordBytes);
+    for (std::size_t i = 0; i < 3; ++i)
+        EXPECT_FALSE(store.load(keys[i])) << keys[i];
+    for (std::size_t i = 3; i < 6; ++i)
+        EXPECT_TRUE(store.load(keys[i])) << keys[i];
+}
+
+TEST(StoreGc, DryRunRanksWithoutDeleting)
+{
+    TempDir dir;
+    ArtifactStore store(dir.path);
+    const auto keys = seedRecords(store, 5, 150);
+    const std::uint64_t recordBytes =
+        fs::file_size(store.pathFor(keys[0]));
+
+    const auto dry = store.gc(2 * recordBytes, /*dryRun=*/true);
+    EXPECT_EQ(dry.evicted, 3u);
+    EXPECT_EQ(dry.retained, 2u);
+    // Nothing actually left the disk.
+    for (const auto &key : keys)
+        EXPECT_TRUE(store.load(key)) << key;
+
+    // The live pass agrees with the dry ranking.
+    const auto live = store.gc(2 * recordBytes);
+    EXPECT_EQ(live.evicted, dry.evicted);
+    EXPECT_EQ(live.evictedBytes, dry.evictedBytes);
+    EXPECT_FALSE(store.load(keys[0]));
+    EXPECT_TRUE(store.load(keys[4]));
+}
+
+TEST(StoreGc, NeverDeletesTempCorruptOrForeignFiles)
+{
+    TempDir dir;
+    ArtifactStore store(dir.path);
+    const auto keys = seedRecords(store, 3, 100);
+
+    // An in-flight publish, a truncated record, a record whose bytes
+    // were flipped, and a foreign file -- none are the GC's to
+    // delete, even under a zero budget.
+    const std::string tmpPath =
+        store.pathFor("key-0") + ".1234.0.tmp";
+    writeFile(tmpPath, "half-written publish");
+    const std::string truncatedPath = dir.path + "/cafecafecafecafe.bfa";
+    writeFile(truncatedPath, "BFAS");
+    std::ifstream in(store.pathFor(keys[1]), std::ios::binary);
+    std::string frame((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    frame[frame.size() / 2] ^= 0x40;
+    const std::string corruptPath = dir.path + "/feedfeedfeedfeed.bfa";
+    writeFile(corruptPath, frame);
+    const std::string foreignPath = dir.path + "/README.txt";
+    writeFile(foreignPath, "not a record");
+
+    const auto result = store.gc(0);
+    EXPECT_EQ(result.scanned, 3u);
+    EXPECT_EQ(result.evicted, 3u);
+    EXPECT_EQ(result.skipped, 4u);
+    EXPECT_TRUE(fs::exists(tmpPath));
+    EXPECT_TRUE(fs::exists(truncatedPath));
+    EXPECT_TRUE(fs::exists(corruptPath));
+    EXPECT_TRUE(fs::exists(foreignPath));
+    for (const auto &key : keys)
+        EXPECT_FALSE(store.load(key)) << key;
+}
+
+TEST(StoreGc, RelocatedValidRecordIsNotACandidate)
+{
+    TempDir dir;
+    ArtifactStore store(dir.path);
+    seedRecords(store, 1, 100);
+
+    // A structurally valid record filed under the wrong name (its
+    // embedded key does not hash to this filename) is skipped: the
+    // GC only deletes what the store can prove it owns.
+    std::ifstream in(store.pathFor("key-0"), std::ios::binary);
+    std::string frame((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    const std::string movedPath = dir.path + "/0123456789abcdef.bfa";
+    writeFile(movedPath, frame);
+
+    const auto result = store.gc(0);
+    EXPECT_EQ(result.scanned, 1u);
+    EXPECT_EQ(result.skipped, 1u);
+    EXPECT_TRUE(fs::exists(movedPath));
+    EXPECT_FALSE(fs::exists(store.pathFor("key-0")));
+}
+
+} // namespace
+} // namespace bitfusion

@@ -58,9 +58,16 @@ usage(const char *argv0)
         "      [--samples PER_REQUEST] [--seed S] [--deadline-us D]\n"
         "      [--networks A,B,...]\n"
         "  batching: [--max-batch B] [--max-wait-us W]\n"
+        "      [--switch-penalty-us P]\n"
         "  admission: [--max-queue-depth N] [--shed-unmeetable]\n"
+        "  faults: [--fail-replica ID@T[:for=D]]...\n"
+        "      [--fail-rack ID@T[:for=D]]... [--rack-size N]\n"
+        "      [--mtbf-us M --mttr-us R] [--fault-seed S]\n"
+        "  retries: [--retry-max N] [--retry-backoff-us B]\n"
+        "      [--retry-jitter F] [--retry-budget N]\n"
+        "      [--hedge-us D | --hedge-p99-x M]\n"
         "  output: [--json PATH] [--per-request] [--threads N]\n"
-        "      [--store DIR]\n"
+        "      [--store DIR] [--store-max-bytes N]\n"
         "      [--streaming-stats] [--active-window]\n"
         "  registries: [--list-platforms] [--list-schedulers]\n",
         argv0, schedulerNames().c_str());
@@ -152,8 +159,42 @@ printReport(const ServeReport &report)
                     "unmeetable deadline)\n",
                     report.shedRequests, report.shedByDepth,
                     report.shedByDeadline);
+        if (report.faultReport)
+            std::printf("  (%zu shed while the fleet was degraded)\n",
+                        report.shedDegraded);
     }
-    if (report.fleetReport()) {
+    if (report.switchReport) {
+        std::printf("network switches: %zu (%.1f us reload penalty "
+                    "total)\n",
+                    report.networkSwitches,
+                    report.switchPenaltyTotalUs);
+    }
+    if (report.faultReport) {
+        std::printf("\navailability: fleet %.2f%%, goodput %.2f%% "
+                    "(%zu issued, %zu served, %zu shed, %zu "
+                    "abandoned)\n",
+                    100.0 * report.fleetAvailability(),
+                    100.0 * report.goodput(), report.requestsIssued,
+                    report.requestCount, report.shedRequests,
+                    report.requestsAbandoned);
+        std::printf("faults: %zu batches lost, %zu request losses, "
+                    "%zu recovered, %zu retries issued\n",
+                    report.lostBatches, report.requestLossEvents,
+                    report.requestsRecovered, report.retriesIssued);
+        if (report.hedgesIssued > 0) {
+            std::printf("hedges: %zu issued, %zu won, %zu cancelled, "
+                        "%zu lost\n",
+                        report.hedgesIssued, report.hedgesWon,
+                        report.hedgesCancelled, report.hedgesLost);
+        }
+        if (report.lastRecoveryUs > 0.0) {
+            std::printf("recovery: last at %.1f ms, drained %.1f ms "
+                        "later\n",
+                        report.lastRecoveryUs / 1000.0,
+                        report.drainAfterRecoveryUs / 1000.0);
+        }
+    }
+    if (report.fleetReport() || report.faultReport) {
         std::printf("replicas:\n");
         for (std::size_t r = 0; r < report.replicas.size(); ++r) {
             const ReplicaUsage &usage = report.replicas[r];
@@ -164,6 +205,11 @@ printReport(const ServeReport &report)
                         100.0 * usage.utilization);
             if (usage.energyJ > 0.0)
                 std::printf("  %.4f J", usage.energyJ);
+            if (report.faultReport) {
+                std::printf("  down %.1f us  lost %zu  wasted %.1f us",
+                            usage.downUs, usage.lostBatches,
+                            usage.wastedUs);
+            }
             std::printf("\n");
         }
     }
@@ -191,6 +237,7 @@ main(int argc, char **argv)
     ServeOptions options;
     bool closedLoop = false;
     bool perRequest = false;
+    std::uint64_t storeMaxBytes = 0;
     bool platformGiven = false;
     bool fleetGiven = false;
     bool replicasGiven = false;
@@ -325,6 +372,38 @@ main(int argc, char **argv)
             options.maxBatch = int32Arg(i, "--max-batch");
         } else if (arg == "--max-wait-us") {
             options.maxWaitUs = numArg(i, "--max-wait-us");
+        } else if (arg == "--switch-penalty-us") {
+            options.switchPenaltyUs = numArg(i, "--switch-penalty-us");
+        } else if (arg == "--fail-replica" && i + 1 < argc) {
+            options.faults.replicaEvents.push_back(
+                parseFaultEvent(argv[++i], "--fail-replica"));
+        } else if (arg == "--fail-rack" && i + 1 < argc) {
+            options.faults.rackEvents.push_back(
+                parseFaultEvent(argv[++i], "--fail-rack"));
+        } else if (arg == "--rack-size") {
+            options.faults.rackSize =
+                static_cast<std::size_t>(intArg(i, "--rack-size"));
+        } else if (arg == "--mtbf-us") {
+            options.faults.mtbfUs = numArg(i, "--mtbf-us");
+        } else if (arg == "--mttr-us") {
+            options.faults.mttrUs = numArg(i, "--mttr-us");
+        } else if (arg == "--fault-seed") {
+            options.faults.seed = intArg(i, "--fault-seed");
+        } else if (arg == "--retry-max") {
+            options.retry.maxAttempts = int32Arg(i, "--retry-max");
+        } else if (arg == "--retry-backoff-us") {
+            options.retry.backoffBaseUs =
+                numArg(i, "--retry-backoff-us");
+        } else if (arg == "--retry-jitter") {
+            options.retry.jitterFrac = numArg(i, "--retry-jitter");
+        } else if (arg == "--retry-budget") {
+            options.retry.retryBudget =
+                static_cast<std::size_t>(intArg(i, "--retry-budget"));
+        } else if (arg == "--hedge-us") {
+            options.retry.hedgeDelayUs = numArg(i, "--hedge-us");
+        } else if (arg == "--hedge-p99-x") {
+            options.retry.hedgeP99Multiplier =
+                numArg(i, "--hedge-p99-x");
         } else if (arg == "--closed-loop") {
             closedLoop = true;
             closedSpec.clients = int32Arg(i, "--closed-loop");
@@ -341,6 +420,9 @@ main(int argc, char **argv)
             jsonPath = argv[++i];
         } else if (arg == "--store" && i + 1 < argc) {
             ArtifactStore::setProcessRoot(argv[++i]);
+        } else if (arg == "--store-max-bytes") {
+            storeMaxBytes =
+                static_cast<std::uint64_t>(intArg(i, "--store-max-bytes"));
         } else if (arg == "--per-request") {
             perRequest = true;
         } else if (arg == "--list-platforms") {
@@ -449,6 +531,15 @@ main(int argc, char **argv)
         return 2;
     }
 
+    // The GC budget trims the store after the run; without a store
+    // it would silently do nothing.
+    if (storeMaxBytes > 0 && ArtifactStore::process() == nullptr) {
+        std::fprintf(stderr,
+                     "--store-max-bytes needs a store (--store DIR "
+                     "or BITFUSION_STORE)\n");
+        return 2;
+    }
+
     // Per-request records exist to be dumped; holding them for a
     // million-request run nobody asked to inspect wastes O(requests)
     // memory, so retention follows --per-request.
@@ -488,7 +579,7 @@ main(int argc, char **argv)
                 BF_FATAL("cannot read trace '", tracePath, "'");
             std::stringstream text;
             text << in.rdbuf();
-            trace = parseTrace(text.str());
+            trace = parseTrace(text.str(), tracePath);
         } else {
             trace = syntheticTrace(traceSpec);
         }
@@ -519,6 +610,19 @@ main(int argc, char **argv)
                      st.misses, st.corrupt,
                      ArtifactCache::process().compileCount(),
                      ArtifactCache::process().planCount());
+        if (storeMaxBytes > 0) {
+            // Trim after this run's publishes so the store caps at
+            // the budget between invocations.
+            const auto gc = store->gc(storeMaxBytes);
+            std::fprintf(stderr,
+                         "store gc: %zu records evicted (%llu bytes) "
+                         "to fit %llu bytes\n",
+                         gc.evicted,
+                         static_cast<unsigned long long>(
+                             gc.evictedBytes),
+                         static_cast<unsigned long long>(
+                             storeMaxBytes));
+        }
     }
     return 0;
 }

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * bitfusion_store_gc: bound a persistent artifact store's disk use.
+ *
+ *   bitfusion_store_gc --store DIR --max-bytes N [--dry-run]
+ *
+ * Evicts valid records, oldest first, until the store fits in
+ * --max-bytes. Only files that parse as complete, checksummed
+ * records filed under their own key are candidates: in-flight
+ * "*.tmp" publishes, foreign files, and corrupt records are never
+ * deleted (see ArtifactStore::gc). --dry-run ranks and reports
+ * without removing anything. Exit status 0 on any completed pass.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "src/common/cli.h"
+#include "src/core/artifact_store.h"
+
+namespace {
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s --store DIR --max-bytes N [--dry-run]\n",
+                 argv0);
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string root;
+    std::uint64_t maxBytes = 0;
+    bool maxBytesGiven = false;
+    bool dryRun = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--store" && i + 1 < argc) {
+            root = argv[++i];
+        } else if (arg == "--max-bytes") {
+            maxBytes = bitfusion::cli::uintArg(argc, argv, i,
+                                               "--max-bytes");
+            maxBytesGiven = true;
+        } else if (arg == "--dry-run") {
+            dryRun = true;
+        } else {
+            return usage(argv[0]);
+        }
+    }
+    if (root.empty() || !maxBytesGiven)
+        return usage(argv[0]);
+
+    const bitfusion::ArtifactStore store(root);
+    const auto result = store.gc(maxBytes, dryRun);
+    std::printf("store %s: %zu records (%llu bytes), %s%zu evicted "
+                "(%llu bytes), %zu retained (%llu bytes), %zu "
+                "skipped\n",
+                store.root().c_str(), result.scanned,
+                static_cast<unsigned long long>(result.retainedBytes +
+                                                result.evictedBytes),
+                dryRun ? "would be " : "", result.evicted,
+                static_cast<unsigned long long>(result.evictedBytes),
+                result.retained,
+                static_cast<unsigned long long>(result.retainedBytes),
+                result.skipped);
+    return 0;
+}
